@@ -1,0 +1,225 @@
+package datalab
+
+// Benchmark harness: one testing.B target per table/figure in the paper's
+// evaluation (see DESIGN.md's per-experiment index), plus micro-benchmarks
+// of the hot substrates. Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// The experiment benches print the regenerated table/figure once per run
+// (on the first iteration) and report ns/op for the full experiment.
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"datalab/internal/benchgen"
+	"datalab/internal/experiments"
+	"datalab/internal/knowledge"
+	"datalab/internal/llm"
+	"datalab/internal/sqlengine"
+	"datalab/internal/table"
+)
+
+// benchScale keeps experiment benches fast while exercising the full code
+// path; cmd/datalab-bench runs full workloads.
+const benchScale = 0.2
+
+var printOnce sync.Map
+
+func printHeader(b *testing.B, name, body string) {
+	if _, done := printOnce.LoadOrStore(name, true); !done {
+		b.Logf("\n== %s ==\n%s", name, body)
+	}
+}
+
+func BenchmarkTable1NL2SQL(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table1("bench", benchScale)
+		var sb strings.Builder
+		for _, r := range rows {
+			if r.Task == "NL2SQL" {
+				sb.WriteString(r.Format() + "\n")
+			}
+		}
+		printHeader(b, "Table I (NL2SQL rows)", sb.String())
+	}
+}
+
+func BenchmarkTable1NL2DSCode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table1("bench", benchScale)
+		var sb strings.Builder
+		for _, r := range rows {
+			if r.Task == "NL2DSCode" {
+				sb.WriteString(r.Format() + "\n")
+			}
+		}
+		printHeader(b, "Table I (NL2DSCode rows)", sb.String())
+	}
+}
+
+func BenchmarkTable1NL2Insight(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table1("bench", benchScale)
+		var sb strings.Builder
+		for _, r := range rows {
+			if r.Task == "NL2Insight" {
+				sb.WriteString(r.Format() + "\n")
+			}
+		}
+		printHeader(b, "Table I (NL2Insight rows)", sb.String())
+	}
+}
+
+func BenchmarkTable1NL2VIS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table1("bench", benchScale)
+		var sb strings.Builder
+		for _, r := range rows {
+			if r.Task == "NL2VIS" {
+				sb.WriteString(r.Format() + "\n")
+			}
+		}
+		printHeader(b, "Table I (NL2VIS rows)", sb.String())
+	}
+}
+
+func BenchmarkFigure6LLMSensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Figure6("bench", benchScale)
+		var sb strings.Builder
+		for _, r := range rows {
+			sb.WriteString(r.Format() + "\n")
+		}
+		printHeader(b, "Figure 6", sb.String())
+	}
+}
+
+func BenchmarkKnowledgeGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		stats := experiments.KnowledgeGeneration("bench", 10)
+		printHeader(b, "Knowledge generation (§VII-C.1)", stats.Format())
+	}
+}
+
+func BenchmarkTable2KnowledgeAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Table2("bench", 6, 90, 66)
+		printHeader(b, "Table II", res.Format())
+	}
+}
+
+func BenchmarkTable3CommunicationAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Table3("bench", 4, 20)
+		printHeader(b, "Table III", res.Format())
+	}
+}
+
+func BenchmarkFigure7DAGConstruction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Figure7("bench", 49)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printHeader(b, "Figure 7", experiments.FormatFigure7(points))
+	}
+}
+
+func BenchmarkTable4ContextAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table4("bench", 12)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printHeader(b, "Table IV", res.Format())
+	}
+}
+
+// --- micro-benchmarks of the substrates ---
+
+func benchCatalog() *sqlengine.Catalog {
+	t := table.MustNew("sales",
+		[]string{"region", "product", "amount", "when"},
+		[]table.Kind{table.KindString, table.KindString, table.KindFloat, table.KindTime})
+	regions := []string{"east", "west", "north", "south"}
+	products := []string{"widget", "gadget", "sprocket"}
+	for i := 0; i < 5000; i++ {
+		t.MustAppendRow(
+			table.Str(regions[i%len(regions)]),
+			table.Str(products[i%len(products)]),
+			table.Float(float64(i%977)),
+			table.Str(fmt.Sprintf("2024-%02d-%02d", i%12+1, i%28+1)),
+		)
+	}
+	cat := sqlengine.NewCatalog()
+	cat.Register(t)
+	return cat
+}
+
+func BenchmarkSQLAggregationQuery(b *testing.B) {
+	cat := benchCatalog()
+	const q = "SELECT region, SUM(amount) AS total FROM sales WHERE product <> 'sprocket' GROUP BY region ORDER BY total DESC"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cat.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSQLParse(b *testing.B) {
+	const q = "SELECT a, SUM(b) AS s FROM t JOIN u ON t.k = u.k WHERE c BETWEEN 1 AND 9 AND d IN ('x','y') GROUP BY a HAVING SUM(b) > 10 ORDER BY s DESC LIMIT 5"
+	for i := 0; i < b.N; i++ {
+		if _, err := sqlengine.Parse(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKnowledgeRetrieval(b *testing.B) {
+	client := llm.NewClient(llm.GPT4, "bench-retrieval")
+	gen := knowledge.NewGenerator(client)
+	graph := knowledge.NewGraph()
+	for _, et := range benchgen.GenerateEnterprise("bench-retrieval", 8) {
+		bundle, err := gen.Generate(et.Schema, et.Scripts, et.Lineage)
+		if err != nil {
+			b.Fatal(err)
+		}
+		graph.AddBundle(bundle, knowledge.LevelFull)
+	}
+	r := knowledge.NewRetriever(graph, client)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.RetrieveColumns("total income after tax by business group", 10)
+	}
+}
+
+func BenchmarkNotebookDAGConstruction(b *testing.B) {
+	g, err := benchgen.GenerateNotebook("bench-dag", 40)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Notebook.ConstructDAG()
+	}
+}
+
+func BenchmarkPlatformAsk(b *testing.B) {
+	p := MustNew(WithSeed("bench-ask"))
+	if err := p.LoadRecords("sales",
+		[]string{"region", "revenue"},
+		[][]string{{"east", "100"}, {"west", "250"}, {"north", "90"}}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Ask("total revenue by region", "sales"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+// Command datalab-bench regenerates every table and figure from the
+// paper's evaluation section against the synthetic workloads. Run with
+// -scale to trade runtime for precision (1.0 = full workload sizes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"datalab/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "fraction of full workload sizes (0,1]")
+	seed := flag.String("seed", "datalab-v1", "experiment seed")
+	only := flag.String("only", "", "run a single experiment: table1|figure6|knowgen|table2|table3|figure7|table4")
+	flag.Parse()
+
+	run := func(name string) bool { return *only == "" || *only == name }
+
+	if run("table1") {
+		fmt.Println("== Table I: end-to-end performance on research benchmarks ==")
+		for _, row := range experiments.Table1(*seed, *scale) {
+			fmt.Println(row.Format())
+		}
+		fmt.Println()
+	}
+	if run("figure6") {
+		fmt.Println("== Figure 6: DataLab under different underlying LLMs ==")
+		for _, row := range experiments.Figure6(*seed, *scale) {
+			fmt.Println(row.Format())
+		}
+		fmt.Println()
+	}
+	if run("knowgen") {
+		fmt.Println("== §VII-C.1: knowledge generation quality ==")
+		n := int(50 * *scale)
+		if n < 5 {
+			n = 5
+		}
+		fmt.Println(experiments.KnowledgeGeneration(*seed, n).Format())
+		fmt.Println()
+	}
+	if run("table2") {
+		fmt.Println("== Table II: domain knowledge incorporation ablation ==")
+		nLink := int(439 * *scale)
+		nDSL := int(326 * *scale)
+		if nLink < 30 {
+			nLink = 30
+		}
+		if nDSL < 30 {
+			nDSL = 30
+		}
+		fmt.Println(experiments.Table2(*seed, 8, nLink, nDSL).Format())
+		fmt.Println()
+	}
+	if run("table3") {
+		fmt.Println("== Table III: inter-agent communication ablation ==")
+		nQ := int(100 * *scale)
+		if nQ < 20 {
+			nQ = 20
+		}
+		fmt.Println(experiments.Table3(*seed, 6, nQ).Format())
+		fmt.Println()
+	}
+	if run("figure7") {
+		fmt.Println("== Figure 7: DAG construction time ==")
+		points, err := experiments.Figure7(*seed, 49)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figure7:", err)
+			os.Exit(1)
+		}
+		fmt.Print(experiments.FormatFigure7(points))
+		fmt.Println()
+	}
+	if run("table4") {
+		fmt.Println("== Table IV: cell-based context management ablation ==")
+		nNB := int(50 * *scale)
+		if nNB < 10 {
+			nNB = 10
+		}
+		res, err := experiments.Table4(*seed, nNB)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "table4:", err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Format())
+	}
+}

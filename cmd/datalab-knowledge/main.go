@@ -1,0 +1,56 @@
+// Command datalab-knowledge runs the Domain Knowledge Incorporation
+// pipeline (Algorithm 1) over a synthetic enterprise corpus and prints the
+// generated knowledge bundles plus quality statistics against expert
+// annotations — the knowledge-generation deployment of §VII-C.1 in CLI
+// form.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"datalab/internal/benchgen"
+	"datalab/internal/knowledge"
+	"datalab/internal/llm"
+	"datalab/internal/metrics"
+)
+
+func main() {
+	n := flag.Int("tables", 5, "number of enterprise tables to process")
+	seed := flag.String("seed", "knowledge-cli", "corpus seed")
+	verbose := flag.Bool("v", false, "print full knowledge bundles")
+	flag.Parse()
+
+	client := llm.NewClient(llm.GPT4, *seed)
+	gen := knowledge.NewGenerator(client)
+	tables := benchgen.GenerateEnterprise(*seed, *n)
+
+	var colSES []float64
+	for _, et := range tables {
+		bundle, err := gen.Generate(et.Schema, et.Scripts, et.Lineage)
+		if err != nil {
+			log.Fatalf("generate %s: %v", et.Schema.Name, err)
+		}
+		fmt.Printf("table %s: %q\n", bundle.Table.Name, bundle.Table.Description)
+		for _, ck := range bundle.Columns {
+			ses := metrics.SES(ck.Description, et.ExpertColumnDesc[ck.Name])
+			colSES = append(colSES, ses)
+			if *verbose {
+				fmt.Printf("  %-22s SES=%.2f  %q\n", ck.Name, ses, ck.Description)
+				for _, d := range ck.Derived {
+					fmt.Printf("    derived %s = %s\n", d.Name, d.CalculationLogic)
+				}
+			}
+		}
+		if len(bundle.Values) > 0 && *verbose {
+			fmt.Printf("  %d value-knowledge entries\n", len(bundle.Values))
+		}
+	}
+	fmt.Printf("\n%d tables, %d columns; mean column SES %.3f (%.0f%% above 0.7)\n",
+		len(tables), len(colSES), metrics.Mean(colSES),
+		100*metrics.FractionAbove(colSES, 0.7))
+	u := client.Usage()
+	fmt.Printf("simulated token usage: %d prompt + %d completion over %d calls\n",
+		u.PromptTokens, u.CompletionTokens, u.Calls)
+}

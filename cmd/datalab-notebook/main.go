@@ -1,0 +1,74 @@
+// Command datalab-notebook runs a scripted headless notebook session:
+// it builds a multi-language notebook, prints the dependency DAG, and
+// shows the context-managed cost of follow-up queries — the backend the
+// paper's JupyterLab frontend would call.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"datalab"
+)
+
+func main() {
+	seed := flag.String("seed", "notebook-cli", "session seed")
+	flag.Parse()
+
+	p := datalab.MustNew(datalab.WithSeed(*seed))
+	if err := p.LoadRecords("orders",
+		[]string{"channel", "amount", "order_date"},
+		[][]string{
+			{"web", "120", "2024-01-04"},
+			{"mobile", "85", "2024-01-09"},
+			{"web", "240", "2024-02-13"},
+			{"store", "60", "2024-02-27"},
+			{"mobile", "310", "2024-03-08"},
+			{"web", "95", "2024-03-21"},
+		}); err != nil {
+		log.Fatal(err)
+	}
+
+	nb := p.NewNotebook("orders-review")
+	ids := map[string]string{}
+	add := func(kind string, fn func() (string, error)) {
+		id, err := fn()
+		if err != nil {
+			log.Fatalf("%s: %v", kind, err)
+		}
+		ids[kind] = id
+		fmt.Printf("added %-8s cell %s\n", kind, id)
+	}
+	add("sql", func() (string, error) {
+		return nb.AddSQL("SELECT channel, amount FROM orders", "raw_orders")
+	})
+	add("python", func() (string, error) {
+		return nb.AddPython("filtered = raw_orders[raw_orders[\"amount\"] > 80]")
+	})
+	add("python2", func() (string, error) {
+		return nb.AddPython("by_channel = filtered.groupby(\"channel\").sum()")
+	})
+	add("markdown", func() (string, error) {
+		return nb.AddMarkdown("## Channel review\nMobile growth is the quarter's focus.")
+	})
+	add("chart", func() (string, error) {
+		return nb.AddChart(`{"mark":"bar","encoding":{"x":{"field":"channel"},"y":{"field":"amount"}},"data":"by_channel"}`)
+	})
+
+	fmt.Println("\ndependency DAG:")
+	for _, kind := range []string{"python", "python2", "chart"} {
+		fmt.Printf("  %s <- %v\n", ids[kind], nb.DependsOn(ids[kind]))
+	}
+
+	for _, q := range []string{
+		"refine the sql extraction of orders",
+		"clean the filtered dataframe with pandas",
+		"draw a chart of amounts by channel",
+	} {
+		ctx := nb.ContextFor(q)
+		fmt.Printf("\nquery %q\n  context: [%s] = %d tokens (full notebook: %d)\n",
+			q, strings.Join(ctx.CellIDs, " "), ctx.Tokens, nb.FullContextTokens())
+	}
+}

@@ -1,0 +1,305 @@
+// Package datalab is the public facade of the DataLab reproduction: a
+// unified, LLM-powered business-intelligence platform combining a
+// multi-agent framework (SQL, analysis, visualization, insight agents
+// coordinated by a proxy over an FSM plan) with a computational-notebook
+// backend, per "DataLab: A Unified Platform for LLM-Powered Business
+// Intelligence" (ICDE 2025).
+//
+// A Platform owns a warehouse catalog, an optional enterprise knowledge
+// graph, and the simulated LLM client. Typical use:
+//
+//	p := datalab.New(datalab.WithModel("gpt-4"))
+//	p.LoadCSV("sales", file)
+//	ans, err := p.Ask("total revenue by region as a bar chart", "sales")
+//	fmt.Println(ans.SQL, ans.ChartJSON)
+package datalab
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"datalab/internal/agent"
+	"datalab/internal/comm"
+	"datalab/internal/knowledge"
+	"datalab/internal/llm"
+	"datalab/internal/sqlengine"
+	"datalab/internal/table"
+)
+
+// Option configures a Platform.
+type Option func(*config)
+
+type config struct {
+	model string
+	seed  string
+}
+
+// WithModel selects the underlying model profile: "gpt-4" (default),
+// "qwen-2.5", or "llama-3.1".
+func WithModel(name string) Option {
+	return func(c *config) { c.model = name }
+}
+
+// WithSeed fixes the deterministic seed for the simulated model.
+func WithSeed(seed string) Option {
+	return func(c *config) { c.seed = seed }
+}
+
+// Platform is one DataLab deployment: catalog + knowledge + agents.
+type Platform struct {
+	client  *llm.Client
+	catalog *sqlengine.Catalog
+	graph   *knowledge.Graph
+	rt      *agent.Runtime
+	history []string
+}
+
+// New creates a platform.
+func New(opts ...Option) (*Platform, error) {
+	cfg := config{model: "gpt-4", seed: "datalab"}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	profile, err := llm.ProfileByName(cfg.model)
+	if err != nil {
+		return nil, err
+	}
+	client := llm.NewClient(profile, cfg.seed)
+	catalog := sqlengine.NewCatalog()
+	return &Platform{
+		client:  client,
+		catalog: catalog,
+		rt:      agent.NewRuntime(client, catalog),
+	}, nil
+}
+
+// MustNew is New that panics on error, for examples and tests.
+func MustNew(opts ...Option) *Platform {
+	p, err := New(opts...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// LoadCSV registers a CSV dataset under the given table name.
+func (p *Platform) LoadCSV(name string, r io.Reader) error {
+	t, err := table.ReadCSV(name, r)
+	if err != nil {
+		return err
+	}
+	p.catalog.Register(t)
+	return nil
+}
+
+// LoadRecords registers an in-memory dataset: a header row plus string
+// records; column types are inferred.
+func (p *Platform) LoadRecords(name string, columns []string, rows [][]string) error {
+	kinds := make([]table.Kind, len(columns))
+	for i := range kinds {
+		kinds[i] = table.KindString
+	}
+	// Infer kinds from the first non-empty cell per column.
+	for c := range columns {
+		for _, row := range rows {
+			if c < len(row) && strings.TrimSpace(row[c]) != "" {
+				kinds[c] = table.Infer(row[c]).Kind
+				break
+			}
+		}
+	}
+	t, err := table.New(name, columns, kinds)
+	if err != nil {
+		return err
+	}
+	for _, row := range rows {
+		vals := make([]table.Value, len(columns))
+		for c := range columns {
+			if c < len(row) {
+				vals[c] = table.Infer(row[c])
+			}
+		}
+		if err := t.AppendRow(vals...); err != nil {
+			return err
+		}
+	}
+	p.catalog.Register(t)
+	return nil
+}
+
+// Tables lists registered table names.
+func (p *Platform) Tables() []string { return p.catalog.TableNames() }
+
+// ColumnSchema describes one column of an enterprise table.
+type ColumnSchema struct {
+	Name    string
+	Type    string // bigint, double, string, date, ...
+	Comment string
+}
+
+// Script is one historical data-processing script ("sql" or "python").
+type Script struct {
+	ID       string
+	Language string
+	Text     string
+}
+
+// Glossary is one enterprise jargon entry.
+type Glossary struct {
+	Term         string
+	Definition   string
+	Aliases      []string
+	MapsToColumn string
+	MapsToTable  string
+}
+
+// LearnKnowledge runs the Domain Knowledge Incorporation pipeline
+// (Algorithm 1) over a table's schema and script history, loading the
+// generated knowledge into the platform's graph. Call once per table;
+// glossaries may be added with AddGlossary.
+func (p *Platform) LearnKnowledge(database, tableName string, columns []ColumnSchema, scripts []Script) error {
+	schema := knowledge.TableSchema{Database: database, Name: tableName}
+	for _, c := range columns {
+		schema.Columns = append(schema.Columns, knowledge.ColumnSchema{
+			Name: c.Name, Type: c.Type, Comment: c.Comment,
+		})
+	}
+	var hist []knowledge.Script
+	for _, s := range scripts {
+		hist = append(hist, knowledge.Script{
+			ID:       s.ID,
+			Language: knowledge.ScriptLanguage(strings.ToLower(s.Language)),
+			Text:     s.Text,
+		})
+	}
+	gen := knowledge.NewGenerator(p.client)
+	bundle, err := gen.Generate(schema, hist, nil)
+	if err != nil {
+		return err
+	}
+	if p.graph == nil {
+		p.graph = knowledge.NewGraph()
+	}
+	p.graph.AddBundle(bundle, knowledge.LevelFull)
+	p.rt = agent.NewRuntime(p.client, p.catalog).WithGraph(p.graph, knowledge.LevelFull)
+	p.rt.Ambiguity = 0.3
+	return nil
+}
+
+// AddGlossary registers enterprise jargon in the knowledge graph.
+func (p *Platform) AddGlossary(entries ...Glossary) {
+	if p.graph == nil {
+		p.graph = knowledge.NewGraph()
+		p.rt = agent.NewRuntime(p.client, p.catalog).WithGraph(p.graph, knowledge.LevelFull)
+	}
+	for _, g := range entries {
+		p.graph.AddJargon(knowledge.JargonEntry{
+			Term:         g.Term,
+			Definition:   g.Definition,
+			Aliases:      g.Aliases,
+			MapsToColumn: g.MapsToColumn,
+			MapsToTable:  g.MapsToTable,
+		})
+	}
+}
+
+// Answer is the result of one NL query: whatever the plan's agents
+// produced, in consumable form.
+type Answer struct {
+	// SQL is the executed query (empty if no SQL agent ran).
+	SQL string
+	// Columns/Rows carry the SQL result set.
+	Columns []string
+	Rows    [][]string
+	// ChartJSON is the Vega-Lite-style chart spec, when a chart was asked.
+	ChartJSON string
+	// Insights carries analysis-agent findings (anomalies, associations,
+	// forecasts) as prose.
+	Insights []string
+	// Report is the final composed report, when one was requested.
+	Report string
+	// AgentTrace lists the agents that ran, in execution order.
+	AgentTrace []string
+}
+
+// Ask answers a natural-language query against a registered table by
+// planning a multi-agent execution (§V) and running it through the proxy.
+func (p *Platform) Ask(query, tableName string) (*Answer, error) {
+	if _, ok := p.catalog.Table(tableName); !ok {
+		return nil, fmt.Errorf("datalab: unknown table %q", tableName)
+	}
+	planner := agent.NewPlanner(p.rt)
+	plan, agents := planner.Plan(query, tableName)
+	proxy := comm.NewProxy(comm.DefaultProxyConfig())
+	units, _, err := proxy.Run(plan, agents, query)
+	if err != nil {
+		return nil, err
+	}
+	p.history = append(p.history, query)
+
+	ans := &Answer{}
+	for _, u := range units {
+		ans.AgentTrace = append(ans.AgentTrace, u.Role)
+		switch u.Kind {
+		case comm.KindSQL:
+			ans.SQL = firstLine(u.Content)
+			p.fillRows(ans)
+		case comm.KindChart:
+			ans.ChartJSON = u.Content
+		case comm.KindText:
+			if u.Role == agent.NameReport {
+				ans.Report = u.Content
+			} else {
+				ans.Insights = append(ans.Insights, u.Content)
+			}
+		}
+	}
+	return ans, nil
+}
+
+// Query executes raw SQL against the catalog (the SQL-cell path).
+func (p *Platform) Query(sql string) (columns []string, rows [][]string, err error) {
+	res, err := p.catalog.Query(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tableToStrings(res)
+}
+
+func (p *Platform) fillRows(ans *Answer) {
+	if ans.SQL == "" {
+		return
+	}
+	res, err := p.catalog.Query(ans.SQL)
+	if err != nil {
+		return
+	}
+	ans.Columns, ans.Rows, _ = tableToStrings(res)
+}
+
+func tableToStrings(t *table.Table) ([]string, [][]string, error) {
+	cols := t.ColumnNames()
+	rows := make([][]string, t.NumRows())
+	for i := range rows {
+		row := make([]string, len(cols))
+		for j, v := range t.Row(i) {
+			row[j] = v.AsString()
+		}
+		rows[i] = row
+	}
+	return cols, rows, nil
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// TokenUsage reports the platform's accumulated simulated token spend.
+func (p *Platform) TokenUsage() (prompt, completion, calls int) {
+	u := p.client.Usage()
+	return u.PromptTokens, u.CompletionTokens, u.Calls
+}

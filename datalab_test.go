@@ -1,0 +1,195 @@
+package datalab
+
+import (
+	"strings"
+	"testing"
+)
+
+func demoPlatform(t *testing.T) *Platform {
+	t.Helper()
+	p := MustNew(WithSeed("facade-test"))
+	err := p.LoadRecords("sales",
+		[]string{"region", "product", "revenue", "sale_date"},
+		[][]string{
+			{"east", "widget", "100.5", "2024-01-05"},
+			{"east", "gadget", "250.0", "2024-02-03"},
+			{"west", "widget", "80.25", "2024-03-10"},
+			{"west", "gadget", "300.0", "2024-04-21"},
+			{"north", "widget", "120.0", "2024-05-11"},
+			{"north", "gadget", "900.0", "2024-06-18"},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewRejectsUnknownModel(t *testing.T) {
+	if _, err := New(WithModel("gpt-99")); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestLoadCSVAndQuery(t *testing.T) {
+	p := MustNew(WithSeed("csv"))
+	csv := "a,b\n1,x\n2,y\n"
+	if err := p.LoadCSV("t", strings.NewReader(csv)); err != nil {
+		t.Fatal(err)
+	}
+	cols, rows, err := p.Query("SELECT a FROM t WHERE b = 'y'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 1 || len(rows) != 1 || rows[0][0] != "2" {
+		t.Errorf("result = %v %v", cols, rows)
+	}
+	if len(p.Tables()) != 1 {
+		t.Errorf("tables = %v", p.Tables())
+	}
+}
+
+func TestAskSimpleAggregation(t *testing.T) {
+	p := demoPlatform(t)
+	ans, err := p.Ask("total revenue by region", "sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ans.SQL, "SELECT") {
+		t.Errorf("missing SQL: %+v", ans)
+	}
+	if len(ans.Rows) != 3 {
+		t.Errorf("rows = %d, want 3 regions", len(ans.Rows))
+	}
+	if len(ans.AgentTrace) == 0 {
+		t.Error("empty agent trace")
+	}
+}
+
+func TestAskWithChart(t *testing.T) {
+	p := demoPlatform(t)
+	ans, err := p.Ask("draw a bar chart of total revenue by region", "sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ans.ChartJSON, `"mark"`) {
+		t.Errorf("missing chart: %q", ans.ChartJSON)
+	}
+}
+
+func TestAskMultiAgentInsights(t *testing.T) {
+	p := demoPlatform(t)
+	ans, err := p.Ask("find anomalies in revenue and analyze why, then summarize the insights", "sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Insights) == 0 {
+		t.Errorf("no insights: %+v", ans)
+	}
+}
+
+func TestAskUnknownTable(t *testing.T) {
+	p := demoPlatform(t)
+	if _, err := p.Ask("anything", "ghost"); err == nil {
+		t.Fatal("unknown table accepted")
+	}
+}
+
+func TestLearnKnowledgeEnablesJargon(t *testing.T) {
+	p := MustNew(WithSeed("knowledge"))
+	err := p.LoadRecords("23_customer_bg",
+		[]string{"prod_class4_name", "shouldincome_after", "ftime"},
+		[][]string{
+			{"TencentBI", "1000.5", "2024-01-05"},
+			{"TencentCloud", "2500.0", "2024-02-03"},
+			{"TencentBI", "1800.25", "2024-03-10"},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = p.LearnKnowledge("sales_db", "23_customer_bg",
+		[]ColumnSchema{
+			{Name: "prod_class4_name", Type: "string"},
+			{Name: "shouldincome_after", Type: "double"},
+			{Name: "ftime", Type: "date"},
+		},
+		[]Script{{
+			ID:       "daily.sql",
+			Language: "sql",
+			Text: `-- daily income report
+SELECT prod_class4_name AS product_line_name, SUM(shouldincome_after) AS income_after_tax
+FROM 23_customer_bg GROUP BY prod_class4_name`,
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.AddGlossary(Glossary{
+		Term: "income", Definition: "income after tax",
+		MapsToColumn: "shouldincome_after", MapsToTable: "23_customer_bg",
+	})
+
+	ans, err := p.Ask("total income by product line", "23_customer_bg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ans.SQL, "shouldincome_after") {
+		t.Errorf("knowledge did not resolve the jargon: %s", ans.SQL)
+	}
+}
+
+func TestTokenUsageAccumulates(t *testing.T) {
+	p := demoPlatform(t)
+	if _, err := p.Ask("total revenue by region", "sales"); err != nil {
+		t.Fatal(err)
+	}
+	prompt, _, calls := p.TokenUsage()
+	if prompt == 0 || calls == 0 {
+		t.Errorf("usage = %d tokens, %d calls", prompt, calls)
+	}
+}
+
+func TestNotebookSession(t *testing.T) {
+	p := demoPlatform(t)
+	nb := p.NewNotebook("analysis")
+	sqlID, err := nb.AddSQL("SELECT region, revenue FROM sales", "raw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pyID, err := nb.AddPython("clean = raw.dropna()")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nb.AddMarkdown("## Revenue notes"); err != nil {
+		t.Fatal(err)
+	}
+	if deps := nb.DependsOn(pyID); len(deps) != 1 || deps[0] != sqlID {
+		t.Errorf("python deps = %v", deps)
+	}
+	ctx := nb.ContextFor("clean the raw dataframe with pandas")
+	if len(ctx.CellIDs) == 0 || ctx.Tokens <= 0 {
+		t.Errorf("context = %+v", ctx)
+	}
+	if ctx.Tokens >= nb.FullContextTokens()+1 {
+		t.Error("pruned context should not exceed full context")
+	}
+	if nb.NumCells() != 3 {
+		t.Errorf("cells = %d", nb.NumCells())
+	}
+	if err := nb.UpdateCell(pyID, "clean = raw.fillna(0)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := nb.DeleteCell(pyID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNotebookSQLExecutionError(t *testing.T) {
+	p := demoPlatform(t)
+	nb := p.NewNotebook("broken")
+	if _, err := nb.AddSQL("SELECT nothing FROM missing_table", "x"); err == nil {
+		t.Fatal("expected execution error")
+	}
+	// The cell is kept as a draft.
+	if nb.NumCells() != 1 {
+		t.Errorf("cells = %d", nb.NumCells())
+	}
+}

@@ -1,0 +1,48 @@
+// Multi-agent analysis: a complex question that requires SQL extraction,
+// anomaly detection, causal analysis, forecasting, and a final synthesis,
+// coordinated by the proxy agent over an FSM plan with structured
+// information units (§V).
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"datalab"
+)
+
+func main() {
+	p := datalab.MustNew(datalab.WithSeed("multi-agent"))
+
+	// Monthly KPI series with an injected anomaly and a driver variable.
+	columns := []string{"month", "ad_spend", "revenue"}
+	var rows [][]string
+	for i := 0; i < 24; i++ {
+		spend := 1000 + 50*i
+		revenue := 3*spend + 500
+		if i == 17 {
+			revenue *= 2 // the anomaly the question hunts for
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("2023-%02d-01", i%12+1),
+			fmt.Sprintf("%d", spend),
+			fmt.Sprintf("%d", revenue),
+		})
+	}
+	if err := p.LoadRecords("kpi", columns, rows); err != nil {
+		log.Fatal(err)
+	}
+
+	query := "find anomalies in revenue, explain why revenue moves, forecast revenue, and summarize the insights"
+	ans, err := p.Ask(query, "kpi")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("plan executed:", strings.Join(ans.AgentTrace, " -> "))
+	fmt.Println("\nfindings:")
+	for _, insight := range ans.Insights {
+		fmt.Println(" -", insight)
+	}
+}

@@ -1,0 +1,65 @@
+// Notebook session: multi-language cells, the live dependency DAG of
+// Algorithm 3, and cell-based context management — showing how the
+// minimum relevant context keeps token costs down (§VI).
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"datalab"
+)
+
+func main() {
+	p := datalab.MustNew(datalab.WithSeed("notebook"))
+	if err := p.LoadRecords("sales",
+		[]string{"region", "amount"},
+		[][]string{
+			{"east", "100"}, {"west", "250"}, {"north", "90"}, {"east", "175"},
+		}); err != nil {
+		log.Fatal(err)
+	}
+
+	nb := p.NewNotebook("regional-analysis")
+
+	sqlID, err := nb.AddSQL("SELECT region, amount FROM sales", "raw")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cleanID, err := nb.AddPython("clean = raw.dropna()")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sumID, err := nb.AddPython(`summary = clean.groupby("region").sum()`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := nb.AddMarkdown("## Revenue notes\nEast region threshold is 150."); err != nil {
+		log.Fatal(err)
+	}
+	chartID, err := nb.AddChart(`{"mark":"bar","encoding":{"x":{"field":"region"},"y":{"field":"amount"}},"data":"summary"}`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// An unrelated scratch cell that context management must prune away.
+	if _, err := nb.AddPython("scratch = unrelated_frame * 2"); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("notebook has %d cells\n", nb.NumCells())
+	fmt.Printf("dependency edges: %s->%s, %s->%s, %s->%s\n",
+		sqlID, cleanID, cleanID, sumID, sumID, chartID)
+	for _, id := range []string{cleanID, sumID, chartID} {
+		fmt.Printf("  %s depends on %v\n", id, nb.DependsOn(id))
+	}
+
+	query := "clean the summary dataframe with pandas"
+	ctx := nb.ContextFor(query)
+	fmt.Printf("\nquery: %q\n", query)
+	fmt.Printf("minimum relevant context: cells %s (%d tokens)\n",
+		strings.Join(ctx.CellIDs, ", "), ctx.Tokens)
+	fmt.Printf("full-notebook context would cost %d tokens\n", nb.FullContextTokens())
+	fmt.Printf("token reduction: %.0f%%\n",
+		100*(1-float64(ctx.Tokens)/float64(nb.FullContextTokens())))
+}

@@ -1,0 +1,359 @@
+package agent
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"datalab/internal/comm"
+	"datalab/internal/llm"
+	"datalab/internal/sqlengine"
+	"datalab/internal/table"
+)
+
+func salesCatalog(t *testing.T) *sqlengine.Catalog {
+	t.Helper()
+	tbl := table.MustNew("sales",
+		[]string{"region", "product", "revenue", "cost", "ftime"},
+		[]table.Kind{table.KindString, table.KindString, table.KindFloat, table.KindFloat, table.KindTime})
+	rows := [][]table.Value{
+		{table.Str("east"), table.Str("widget"), table.Float(100), table.Float(60), table.Str("2024-01-05")},
+		{table.Str("east"), table.Str("gadget"), table.Float(250), table.Float(120), table.Str("2024-02-03")},
+		{table.Str("west"), table.Str("widget"), table.Float(80), table.Float(50), table.Str("2024-03-10")},
+		{table.Str("west"), table.Str("gadget"), table.Float(300), table.Float(150), table.Str("2024-04-21")},
+		{table.Str("north"), table.Str("widget"), table.Float(120), table.Float(70), table.Str("2024-05-11")},
+		{table.Str("north"), table.Str("gadget"), table.Float(900), table.Float(200), table.Str("2024-06-18")},
+	}
+	for _, r := range rows {
+		tbl.MustAppendRow(r...)
+	}
+	cat := sqlengine.NewCatalog()
+	cat.Register(tbl)
+	return cat
+}
+
+func testRuntime(t *testing.T, seed string) *Runtime {
+	t.Helper()
+	return NewRuntime(llm.NewClient(llm.GPT4, seed), salesCatalog(t))
+}
+
+// executeWithRetry mirrors the proxy's retry loop for direct agent calls:
+// residual-error draws legitimately fail some attempts.
+func executeWithRetry(t *testing.T, a comm.Agent, query string, inputs []comm.Info) comm.Info {
+	t.Helper()
+	var lastErr error
+	for attempt := 0; attempt < 5; attempt++ {
+		info, err := a.Execute(query, inputs, attempt)
+		if err == nil {
+			return info
+		}
+		lastErr = err
+	}
+	t.Fatalf("%s exhausted retries: %v", a.Name(), lastErr)
+	return comm.Info{}
+}
+
+func TestWorkflowRunsInOrder(t *testing.T) {
+	w := NewWorkflow()
+	w.AddNode("a", func(in map[string]any) (any, error) { return 1, nil })
+	w.AddNode("b", func(in map[string]any) (any, error) {
+		return in["x"].(int) + 10, nil
+	})
+	w.Connect("a", "b", "x")
+	out, err := w.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["b"].(int) != 11 {
+		t.Errorf("b = %v", out["b"])
+	}
+}
+
+func TestWorkflowSeedInputs(t *testing.T) {
+	w := NewWorkflow()
+	w.AddNode("n", func(in map[string]any) (any, error) {
+		return in["query"].(string) + "!", nil
+	})
+	out, err := w.Run(map[string]any{"query": "hello"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["n"].(string) != "hello!" {
+		t.Errorf("n = %v", out["n"])
+	}
+}
+
+func TestWorkflowCycleAndUnknownNode(t *testing.T) {
+	w := NewWorkflow()
+	w.AddNode("a", func(in map[string]any) (any, error) { return nil, nil })
+	w.AddNode("b", func(in map[string]any) (any, error) { return nil, nil })
+	w.Connect("a", "b", "x")
+	w.Connect("b", "a", "y")
+	if _, err := w.Run(nil); err == nil {
+		t.Error("cycle not detected")
+	}
+	w2 := NewWorkflow()
+	w2.AddNode("a", func(in map[string]any) (any, error) { return nil, nil })
+	w2.Connect("ghost", "a", "x")
+	if _, err := w2.Run(nil); err == nil {
+		t.Error("unknown node not detected")
+	}
+}
+
+func TestWorkflowNodeError(t *testing.T) {
+	w := NewWorkflow()
+	w.AddNode("boom", func(in map[string]any) (any, error) { return nil, errors.New("kaput") })
+	if _, err := w.Run(nil); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSQLAgentEndToEnd(t *testing.T) {
+	rt := testRuntime(t, "sqlagent")
+	a := NewSQLAgent(rt, "sales")
+	info := executeWithRetry(t, a, "total revenue by region", nil)
+	if info.Kind != comm.KindSQL || info.Role != NameSQL {
+		t.Errorf("info = %+v", info)
+	}
+	if !strings.Contains(info.Content, "SELECT") || !strings.Contains(info.Content, "GROUP BY") {
+		t.Errorf("content missing SQL: %s", info.Content)
+	}
+	if !strings.Contains(info.Content, "-- dsl:") {
+		t.Error("content missing embedded DSL")
+	}
+}
+
+func TestDSCodeAgentEmitsPandas(t *testing.T) {
+	rt := testRuntime(t, "dscode")
+	a := NewDSCodeAgent(rt, "sales")
+	info := executeWithRetry(t, a, "average revenue by product in pandas", nil)
+	if info.Kind != comm.KindCode {
+		t.Errorf("kind = %v", info.Kind)
+	}
+	if !strings.Contains(info.Content, "groupby") {
+		t.Errorf("code missing groupby: %s", info.Content)
+	}
+}
+
+func TestChartAgentConsumesUpstreamDSL(t *testing.T) {
+	rt := testRuntime(t, "chartup")
+	sqlAgent := NewSQLAgent(rt, "sales")
+	sqlInfo := executeWithRetry(t, sqlAgent, "total revenue by region as a bar chart", nil)
+	chart := NewChartAgent(rt, "sales")
+	info := executeWithRetry(t, chart, "total revenue by region as a bar chart", []comm.Info{sqlInfo})
+	if info.Kind != comm.KindChart {
+		t.Errorf("kind = %v", info.Kind)
+	}
+	if !strings.Contains(info.Content, `"mark"`) {
+		t.Errorf("chart content = %s", info.Content)
+	}
+	if !chart.Faithful() {
+		t.Error("grounded chart should be faithful")
+	}
+}
+
+func TestAnalysisAgents(t *testing.T) {
+	rt := testRuntime(t, "analysis")
+	for _, mk := range []func(*Runtime, string) *BIAgent{
+		NewAnomalyAgent, NewCausalAgent, NewForecastAgent, NewEDAAgent, NewMLAgent,
+	} {
+		a := mk(rt, "sales")
+		info := executeWithRetry(t, a, "analyze the revenue", nil)
+		if info.Content == "" {
+			t.Errorf("%s produced empty content", a.Name())
+		}
+	}
+}
+
+func TestCleaningAgentRegistersTable(t *testing.T) {
+	rt := testRuntime(t, "clean")
+	tbl, _ := rt.Catalog.Table("sales")
+	dirty := tbl.Clone()
+	dirty.Name = "dirty"
+	dirty.MustAppendRow(table.Null(), table.Str("x"), table.Null(), table.Float(1), table.Null())
+	rt.Catalog.Register(dirty)
+	a := NewCleaningAgent(rt, "dirty")
+	info := executeWithRetry(t, a, "clean the data", nil)
+	if !strings.Contains(info.Content, "dropped 1") {
+		t.Errorf("content = %s", info.Content)
+	}
+	cleaned, ok := rt.Catalog.Table("dirty_clean")
+	if !ok || cleaned.NumRows() != 6 {
+		t.Error("cleaned table not registered correctly")
+	}
+}
+
+func TestImputationAgentFillsNulls(t *testing.T) {
+	rt := testRuntime(t, "impute")
+	tbl := table.MustNew("gaps", []string{"v"}, []table.Kind{table.KindFloat})
+	tbl.MustAppendRow(table.Float(10))
+	tbl.MustAppendRow(table.Null())
+	tbl.MustAppendRow(table.Float(20))
+	rt.Catalog.Register(tbl)
+	a := NewImputationAgent(rt, "gaps")
+	executeWithRetry(t, a, "impute missing values", nil)
+	imputed, ok := rt.Catalog.Table("gaps_imputed")
+	if !ok {
+		t.Fatal("imputed table missing")
+	}
+	if imputed.Get(1, "v").IsNull() {
+		t.Error("null not filled")
+	}
+	if got := imputed.Get(1, "v").F; got != 15 {
+		t.Errorf("imputed value = %v, want column mean 15", got)
+	}
+}
+
+func TestReportAgentComposes(t *testing.T) {
+	rt := testRuntime(t, "report")
+	a := NewReportAgent(rt, "sales")
+	inputs := []comm.Info{
+		{Role: NameSQL, Action: "generate_sql_query", Description: "pulled the data", Content: "SELECT 1", Kind: comm.KindSQL},
+		{Role: NameAnomaly, Action: "detect_anomalies", Description: "found a spike", Content: "row 5", Kind: comm.KindText},
+	}
+	info := executeWithRetry(t, a, "write a report", inputs)
+	if !strings.Contains(info.Content, "pulled the data") || !strings.Contains(info.Content, "found a spike") {
+		t.Errorf("report missing sections: %s", info.Content)
+	}
+}
+
+func TestChartQAAgentNeedsChart(t *testing.T) {
+	rt := testRuntime(t, "chartqa")
+	a := NewChartQAAgent(rt, "sales")
+	if _, err := a.Execute("what does the chart show", nil, 0); err == nil {
+		t.Error("chart QA without a chart should error")
+	}
+	chartInfo := comm.Info{
+		Role: NameChart, Action: "generate_chart",
+		Content: `{"mark":"bar","encoding":{"x":{"field":"region"},"y":{"field":"revenue"}}}`,
+		Kind:    comm.KindChart, Description: "a bar chart",
+	}
+	info := executeWithRetry(t, a, "what does the chart show", []comm.Info{chartInfo})
+	if !strings.Contains(info.Content, "bar") {
+		t.Errorf("answer = %s", info.Content)
+	}
+}
+
+func TestPlannerBuildsMultiAgentPlan(t *testing.T) {
+	rt := testRuntime(t, "planner")
+	p := NewPlanner(rt)
+	plan, agents := p.Plan("find anomalies in revenue, explain why, and plot the trend", "sales")
+	names := plan.Agents()
+	nameSet := map[string]bool{}
+	for _, n := range names {
+		nameSet[n] = true
+	}
+	for _, want := range []string{NameSQL, NameAnomaly, NameCausal, NameChart, NameInsight} {
+		if !nameSet[want] {
+			t.Errorf("plan missing %s: %v", want, names)
+		}
+		if _, ok := agents[want]; nameSet[want] && !ok {
+			t.Errorf("agent map missing %s", want)
+		}
+	}
+	// Dependencies: SQL before everything, analyses before insight.
+	order, err := plan.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, n := range order {
+		pos[n] = i
+	}
+	if !(pos[NameSQL] < pos[NameAnomaly] && pos[NameAnomaly] < pos[NameInsight]) {
+		t.Errorf("bad order: %v", order)
+	}
+}
+
+func TestPlannerSimpleQueryIsSQLOnly(t *testing.T) {
+	rt := testRuntime(t, "planner2")
+	p := NewPlanner(rt)
+	plan, _ := p.Plan("total revenue by region", "sales")
+	if got := len(plan.Agents()); got != 1 {
+		t.Errorf("simple plan has %d agents, want 1: %v", got, plan.Agents())
+	}
+}
+
+func TestFullProxyRunWithPlanner(t *testing.T) {
+	rt := testRuntime(t, "fullrun")
+	p := NewPlanner(rt)
+	plan, agents := p.Plan("forecast revenue and draw a chart of revenue by region", "sales")
+	proxy := comm.NewProxy(comm.DefaultProxyConfig())
+	units, stats, err := proxy.Run(plan, agents, "forecast revenue and draw a chart of revenue by region")
+	if err != nil {
+		t.Fatalf("run failed: %v (stats %+v)", err, stats)
+	}
+	if !stats.Succeeded {
+		t.Error("stats not marked succeeded")
+	}
+	kinds := map[comm.InfoKind]bool{}
+	for _, u := range units {
+		kinds[u.Kind] = true
+	}
+	if !kinds[comm.KindSQL] || !kinds[comm.KindChart] {
+		t.Errorf("missing outputs, kinds = %v", kinds)
+	}
+}
+
+func TestRuntimeQualityLevels(t *testing.T) {
+	rt := testRuntime(t, "quality")
+	q := rt.Quality(1, 0)
+	if q.KnowledgeLevel != 0.5 {
+		t.Errorf("profiling fallback knowledge = %v, want 0.5", q.KnowledgeLevel)
+	}
+	if !q.Structured {
+		t.Error("default should be structured")
+	}
+}
+
+func TestAllFaithful(t *testing.T) {
+	rt := testRuntime(t, "faithful")
+	agents := map[string]comm.Agent{}
+	for i := 0; i < 3; i++ {
+		a := NewEDAAgent(rt, "sales")
+		a.faithful = true
+		agents[fmt.Sprintf("a%d", i)] = a
+	}
+	if !AllFaithful(agents) {
+		t.Error("faithful agents flagged as unfaithful")
+	}
+	bad := NewSQLAgent(rt, "sales")
+	bad.faithful = false
+	agents["bad"] = bad
+	if AllFaithful(agents) {
+		t.Error("unfaithful agent not detected")
+	}
+}
+
+func TestFidelityIsStochasticButMostlyTrue(t *testing.T) {
+	// Analysis agents' fidelity follows the silent-error model: with a
+	// strong profile and clean context, the large majority of successful
+	// runs must be faithful.
+	rt := testRuntime(t, "fidelity-rate")
+	faithful, succeeded := 0, 0
+	n := 60
+	for i := 0; i < n; i++ {
+		a := NewEDAAgent(rt, "sales")
+		ok := false
+		for attempt := 0; attempt < 5 && !ok; attempt++ {
+			// Sticky failures legitimately exhaust retries for a few tasks.
+			if _, err := a.Execute(fmt.Sprintf("explore variant %d", i), nil, attempt); err == nil {
+				ok = true
+			}
+		}
+		if !ok {
+			continue
+		}
+		succeeded++
+		if a.Faithful() {
+			faithful++
+		}
+	}
+	if succeeded < n*2/3 {
+		t.Fatalf("only %d/%d tasks succeeded", succeeded, n)
+	}
+	if faithful < succeeded*3/4 {
+		t.Errorf("only %d/%d successful runs faithful", faithful, succeeded)
+	}
+}

@@ -1,0 +1,104 @@
+package agent
+
+import (
+	"strings"
+
+	"datalab/internal/comm"
+)
+
+// Planner is the proxy-side analysis that maps a user query to an FSM
+// execution plan (§V Steps 1-2): which agents participate and how
+// information flows between them.
+type Planner struct {
+	rt *Runtime
+}
+
+// NewPlanner returns a planner over the runtime.
+func NewPlanner(rt *Runtime) *Planner { return &Planner{rt: rt} }
+
+// Plan builds the FSM and the agent set for a query against a table.
+// Every plan starts at the SQL agent (data extraction); analysis and
+// visualization agents attach based on the query's intent vocabulary;
+// multi-intent questions fan out and re-join at a terminal synthesizer.
+func (p *Planner) Plan(query, tableName string) (*comm.FSM, map[string]comm.Agent) {
+	q := strings.ToLower(query)
+	plan := comm.NewFSM()
+	agents := map[string]comm.Agent{}
+
+	add := func(name string, a comm.Agent) {
+		plan.AddAgent(name)
+		agents[name] = a
+	}
+	add(NameSQL, NewSQLAgent(p.rt, tableName))
+
+	var analysis []string
+	attach := func(name string, a comm.Agent) {
+		add(name, a)
+		plan.AddEdge(NameSQL, name)
+		analysis = append(analysis, name)
+	}
+	if containsAny(q, "anomal", "outlier", "unusual", "spike") {
+		attach(NameAnomaly, NewAnomalyAgent(p.rt, tableName))
+	}
+	if containsAny(q, "why", "cause", "driver", "correlat", "relationship", "impact") {
+		attach(NameCausal, NewCausalAgent(p.rt, tableName))
+	}
+	if containsAny(q, "forecast", "predict", "project", "next quarter", "next month", "future") {
+		attach(NameForecast, NewForecastAgent(p.rt, tableName))
+	}
+	if containsAny(q, "clean", "dedup", "fix the data") {
+		attach(NameCleaning, NewCleaningAgent(p.rt, tableName))
+	}
+	if containsAny(q, "impute", "missing value", "fill in") {
+		attach(NameImpute, NewImputationAgent(p.rt, tableName))
+	}
+	if containsAny(q, "explore", "profile", "distribution", "describe the data") {
+		attach(NameEDA, NewEDAAgent(p.rt, tableName))
+	}
+	if containsAny(q, "pandas", "python code", "dataframe code", "script") {
+		attach(NameDSCode, NewDSCodeAgent(p.rt, tableName))
+	}
+
+	wantChart := containsAny(q, "chart", "plot", "visuali", "graph", "draw", "pie", "trend line")
+	wantInsight := containsAny(q, "insight", "analyz", "analysis", "summar", "report", "explain")
+
+	if wantChart {
+		add(NameChart, NewChartAgent(p.rt, tableName))
+		plan.AddEdge(NameSQL, NameChart)
+		for _, a := range analysis {
+			plan.AddEdge(a, NameChart)
+		}
+	}
+	if wantInsight || len(analysis) > 1 {
+		add(NameInsight, NewInsightAgent(p.rt, tableName))
+		plan.AddEdge(NameSQL, NameInsight)
+		for _, a := range analysis {
+			plan.AddEdge(a, NameInsight)
+		}
+		if wantChart {
+			plan.AddEdge(NameChart, NameInsight)
+		}
+	}
+	return plan, agents
+}
+
+func containsAny(s string, subs ...string) bool {
+	for _, sub := range subs {
+		if strings.Contains(s, sub) {
+			return true
+		}
+	}
+	return false
+}
+
+// AllFaithful reports whether every BIAgent in the set produced a correct
+// result on its last successful run — the accuracy signal for multi-agent
+// questions.
+func AllFaithful(agents map[string]comm.Agent) bool {
+	for _, a := range agents {
+		if ba, ok := a.(*BIAgent); ok && !ba.Faithful() {
+			return false
+		}
+	}
+	return true
+}

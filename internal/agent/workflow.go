@@ -1,0 +1,120 @@
+// Package agent implements DataLab's LLM-based agent framework (§III):
+// BI agents assembled as DAG workflows of reusable components (LLM calls,
+// data tools, retrievers), the concrete agents for data preparation,
+// analysis, and visualization, and the proxy-side planner that maps user
+// queries to FSM execution plans.
+package agent
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Component is one reusable node in an agent workflow: an LLM API call,
+// a data tool (Python sandbox, Vega-Lite environment), a retriever, etc.
+type Component func(in map[string]any) (any, error)
+
+// Workflow is a DAG of components. Nodes produce values consumed by their
+// out-edges; edges carry a name under which the upstream result appears
+// in the downstream input map.
+type Workflow struct {
+	nodes map[string]Component
+	// edges[to] = list of (from, as) pairs.
+	edges map[string][]edge
+	order []string
+}
+
+type edge struct {
+	from string
+	as   string
+}
+
+// NewWorkflow returns an empty workflow.
+func NewWorkflow() *Workflow {
+	return &Workflow{nodes: map[string]Component{}, edges: map[string][]edge{}}
+}
+
+// AddNode registers a component under a name.
+func (w *Workflow) AddNode(name string, c Component) *Workflow {
+	if _, dup := w.nodes[name]; !dup {
+		w.order = append(w.order, name)
+	}
+	w.nodes[name] = c
+	return w
+}
+
+// Connect routes from's output into to's input map under key as.
+func (w *Workflow) Connect(from, to, as string) *Workflow {
+	w.edges[to] = append(w.edges[to], edge{from: from, as: as})
+	return w
+}
+
+// Run executes the workflow with the given seed inputs (available to all
+// nodes) and returns every node's output keyed by node name. Execution
+// follows a deterministic topological order; cycles error.
+func (w *Workflow) Run(seed map[string]any) (map[string]any, error) {
+	order, err := w.topoOrder()
+	if err != nil {
+		return nil, err
+	}
+	results := map[string]any{}
+	for _, name := range order {
+		in := map[string]any{}
+		for k, v := range seed {
+			in[k] = v
+		}
+		for _, e := range w.edges[name] {
+			in[e.as] = results[e.from]
+		}
+		out, err := w.nodes[name](in)
+		if err != nil {
+			return results, fmt.Errorf("agent: workflow node %q: %w", name, err)
+		}
+		results[name] = out
+	}
+	return results, nil
+}
+
+func (w *Workflow) topoOrder() ([]string, error) {
+	indeg := map[string]int{}
+	consumers := map[string][]string{}
+	for _, n := range w.order {
+		indeg[n] = 0
+	}
+	for to, es := range w.edges {
+		if _, ok := w.nodes[to]; !ok {
+			return nil, fmt.Errorf("agent: edge to unknown node %q", to)
+		}
+		for _, e := range es {
+			if _, ok := w.nodes[e.from]; !ok {
+				return nil, fmt.Errorf("agent: edge from unknown node %q", e.from)
+			}
+			indeg[to]++
+			consumers[e.from] = append(consumers[e.from], to)
+		}
+	}
+	var queue []string
+	for _, n := range w.order {
+		if indeg[n] == 0 {
+			queue = append(queue, n)
+		}
+	}
+	var out []string
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		out = append(out, n)
+		next := consumers[n]
+		sort.Strings(next)
+		for _, c := range next {
+			indeg[c]--
+			if indeg[c] == 0 {
+				queue = append(queue, c)
+			}
+		}
+	}
+	if len(out) != len(w.order) {
+		return nil, fmt.Errorf("agent: workflow has a cycle")
+	}
+	return out, nil
+}

@@ -1,0 +1,135 @@
+package baselines
+
+import (
+	"testing"
+
+	"datalab/internal/benchgen"
+	"datalab/internal/llm"
+)
+
+func TestMethodsForCoverAllTaskFamilies(t *testing.T) {
+	for _, kind := range []benchgen.TaskKind{
+		benchgen.TaskNL2SQL, benchgen.TaskNL2DSCode,
+		benchgen.TaskNL2Insight, benchgen.TaskNL2VIS,
+	} {
+		methods := MethodsFor(kind)
+		if len(methods) < 3 {
+			t.Errorf("%s: only %d methods", kind, len(methods))
+		}
+		if methods[0].Name != "DataLab" {
+			t.Errorf("%s: DataLab must lead the lineup", kind)
+		}
+		for _, m := range methods {
+			if !m.Supports(kind) {
+				t.Errorf("%s: method %s does not support its own family", kind, m.Name)
+			}
+		}
+	}
+}
+
+func TestDataLabIsTheOnlyGeneralist(t *testing.T) {
+	if got := len(DataLab().Kinds); got != 4 {
+		t.Errorf("DataLab supports %d families, want 4", got)
+	}
+	for _, m := range []Method{DAILSQL(), PURPLE(), CHESS(), CoML(), AutoGen(), LIDA()} {
+		if len(m.Kinds) == 4 {
+			t.Errorf("%s should not be a full generalist", m.Name)
+		}
+	}
+}
+
+func TestMechanismFlags(t *testing.T) {
+	if !DataLab().UsesDSL {
+		t.Error("DataLab's DSL intermediate is its defining mechanism")
+	}
+	if AutoGen().Structured {
+		t.Error("AutoGen communicates in unstructured NL by construction")
+	}
+	if CHESS().SchemaUnderstanding <= DAILSQL().SchemaUnderstanding {
+		t.Error("CHESS's schema filtering must outrank DAIL-SQL's few-shot selection")
+	}
+}
+
+func TestRunProducesResults(t *testing.T) {
+	s, _ := benchgen.SuiteByName("Spider")
+	s.N = 20
+	tasks := benchgen.GenerateSuite(s, "baseline-test")
+	client := llm.NewClient(llm.GPT4, "baseline-test")
+	m := DataLab()
+	correct := 0
+	for _, task := range tasks {
+		res := m.Run(task, client)
+		if res.Correct {
+			correct++
+		}
+	}
+	if correct < 10 {
+		t.Errorf("DataLab solved only %d/20 easy Spider tasks", correct)
+	}
+	// Unsupported family returns a zero result, not a panic.
+	vis, _ := benchgen.SuiteByName("VisEval")
+	vis.N = 10
+	visTask := benchgen.GenerateSuite(vis, "baseline-test")[0]
+	if res := DAILSQL().Run(visTask, client); res.Correct || res.Legal {
+		t.Error("unsupported task should yield a zero result")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	s, _ := benchgen.SuiteByName("BIRD")
+	s.N = 15
+	tasks := benchgen.GenerateSuite(s, "det")
+	m := CHESS()
+	run := func() []bool {
+		client := llm.NewClient(llm.GPT4, "det")
+		var out []bool
+		for _, task := range tasks {
+			out = append(out, m.Run(task, client).Correct)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("method runs are not deterministic")
+		}
+	}
+}
+
+func TestVISTasksProduceReadabilityAndLegality(t *testing.T) {
+	s, _ := benchgen.SuiteByName("VisEval")
+	s.N = 30
+	tasks := benchgen.GenerateSuite(s, "vis-res")
+	client := llm.NewClient(llm.GPT4, "vis-res")
+	m := DataLab()
+	legal := 0
+	for _, task := range tasks {
+		res := m.Run(task, client)
+		if res.Legal {
+			legal++
+			if res.Readability < 1 || res.Readability > 5 {
+				t.Errorf("readability %v out of range", res.Readability)
+			}
+		}
+	}
+	if legal < 15 {
+		t.Errorf("only %d/30 charts legal", legal)
+	}
+}
+
+func TestInsightTasksProduceSummaries(t *testing.T) {
+	s, _ := benchgen.SuiteByName("DABench")
+	s.N = 15
+	tasks := benchgen.GenerateSuite(s, "ins-res")
+	client := llm.NewClient(llm.GPT4, "ins-res")
+	m := AgentPoirot()
+	withSummary := 0
+	for _, task := range tasks {
+		if m.Run(task, client).Summary != "" {
+			withSummary++
+		}
+	}
+	if withSummary < 10 {
+		t.Errorf("only %d/15 runs produced summaries", withSummary)
+	}
+}

@@ -1,0 +1,141 @@
+package benchgen
+
+import (
+	"fmt"
+
+	"datalab/internal/llm"
+	"datalab/internal/notebook"
+)
+
+// NotebookQuery is one Table IV evaluation item: a query against a
+// generated notebook with its gold task type and the gold relevant cells.
+type NotebookQuery struct {
+	Query string
+	// Variable the query is about (explicit in half the items, predicted
+	// in the rest).
+	Variable    string
+	ExplicitVar bool
+	Task        notebook.TaskType
+	// RelevantCells is the gold minimum set (cell IDs).
+	RelevantCells []string
+}
+
+// GeneratedNotebook bundles a notebook with its evaluation queries.
+type GeneratedNotebook struct {
+	Notebook *notebook.Notebook
+	Queries  []NotebookQuery
+}
+
+// GenerateNotebook builds a multi-language notebook with nCells cells,
+// structured as analysis chains: SQL extract -> Python transforms ->
+// chart, with interspersed Markdown notes and independent chains. This is
+// the Figure 7 / Table IV workload.
+func GenerateNotebook(seed string, nCells int) (*GeneratedNotebook, error) {
+	rng := llm.NewRand("notebook:" + seed)
+	nb := notebook.New("generated-" + seed)
+	g := &GeneratedNotebook{Notebook: nb}
+
+	topics := []string{"sales", "orders", "traffic", "billing", "retention"}
+	chain := 0
+	var curVar string
+	var chainCells []string
+	var chainTopic string
+	var chainMarkdown string
+
+	flushQueries := func() {
+		if curVar == "" || len(chainCells) == 0 {
+			return
+		}
+		visRelevant := append([]string{}, chainCells...)
+		if chainMarkdown != "" {
+			// The chain's note carries a threshold the chart must honor:
+			// critical context that lives only in Markdown (the retrieval
+			// weak spot Table IV's accuracy drop traces to).
+			visRelevant = append(visRelevant, chainMarkdown)
+		}
+		g.Queries = append(g.Queries,
+			NotebookQuery{
+				Query:         fmt.Sprintf("write a sql query refining the %s extraction", chainTopic),
+				Variable:      curVar,
+				ExplicitVar:   true,
+				Task:          notebook.TaskNL2SQL,
+				RelevantCells: filterByType(nb, chainCells, notebook.CellSQL),
+			},
+			NotebookQuery{
+				Query:         fmt.Sprintf("clean the %s dataframe with pandas", chainTopic),
+				Variable:      curVar,
+				ExplicitVar:   rngBool(rng),
+				Task:          notebook.TaskNL2DSCode,
+				RelevantCells: filterByType(nb, chainCells, notebook.CellPython),
+			},
+			NotebookQuery{
+				Query:         fmt.Sprintf("draw a chart of the %s summary", chainTopic),
+				Variable:      curVar,
+				ExplicitVar:   true,
+				Task:          notebook.TaskNL2VIS,
+				RelevantCells: visRelevant,
+			},
+		)
+	}
+
+	for len(nb.Cells()) < nCells {
+		pos := len(nb.Cells())
+		switch {
+		case pos%14 == 5 || pos%14 == 9:
+			// Markdown note mentioning the chain topic.
+			id, err := nb.AddCell(notebook.CellMarkdown,
+				fmt.Sprintf("## Notes on %s\nkey threshold for %s is 0.8", chainTopic, chainTopic))
+			if err != nil {
+				return nil, err
+			}
+			chainMarkdown = id
+		case pos%14 == 0:
+			// Start a new chain with a SQL extraction.
+			flushQueries()
+			chain++
+			chainTopic = topics[rng.Intn(len(topics))]
+			chainMarkdown = ""
+			curVar = fmt.Sprintf("%s_df_%d", chainTopic, chain)
+			id, err := nb.AddSQLCell(
+				fmt.Sprintf("SELECT region, amount FROM %s WHERE amount > %d", chainTopic, rng.Intn(100)),
+				curVar)
+			if err != nil {
+				return nil, err
+			}
+			chainCells = []string{id}
+		case pos%14 == 13 && curVar != "":
+			// Chart over the current chain.
+			id, err := nb.AddCell(notebook.CellChart, fmt.Sprintf(
+				`{"mark":"bar","encoding":{"x":{"field":"region"},"y":{"field":"amount"}},"data":%q}`, curVar))
+			if err != nil {
+				return nil, err
+			}
+			chainCells = append(chainCells, id)
+		default:
+			// Python transform continuing the chain.
+			next := fmt.Sprintf("%s_t%d", curVar, pos)
+			src := fmt.Sprintf("%s = %s.dropna()\n%s = %s[%s[\"amount\"] > %d]",
+				next, curVar, next, next, next, rng.Intn(50))
+			id, err := nb.AddCell(notebook.CellPython, src)
+			if err != nil {
+				return nil, err
+			}
+			chainCells = append(chainCells, id)
+			curVar = next
+		}
+	}
+	flushQueries()
+	return g, nil
+}
+
+func filterByType(nb *notebook.Notebook, ids []string, t notebook.CellType) []string {
+	var out []string
+	for _, id := range ids {
+		if c, ok := nb.Cell(id); ok && c.Type == t {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func rngBool(rng *llm.Rand) bool { return rng.Float64() < 0.5 }

@@ -1,0 +1,97 @@
+// Package embed provides deterministic text embeddings used wherever the
+// paper's system calls an embedding model (StarRocks vector search, the
+// M3-Embedding SES metric, semantic context retrieval).
+//
+// The embedding is a feature-hashed bag of tokens and token bigrams: each
+// token is hashed with FNV-1a into a fixed-dimension vector with a signed
+// contribution, then the vector is L2-normalized. This preserves the single
+// property the platform relies on — texts sharing vocabulary land near each
+// other in cosine space — while staying fully offline and deterministic.
+package embed
+
+import (
+	"math"
+
+	"datalab/internal/textutil"
+)
+
+// Dim is the embedding dimensionality. 256 keeps hash collisions rare for
+// the vocabulary sizes in this repo while keeping cosine cheap.
+const Dim = 256
+
+// Vector is a fixed-size embedding.
+type Vector [Dim]float64
+
+// Text embeds s. The zero vector is returned for empty/stopword-only input.
+func Text(s string) Vector {
+	var v Vector
+	tokens := textutil.Tokenize(s)
+	for _, t := range tokens {
+		addFeature(&v, t, 1.0)
+	}
+	// Bigrams capture short phrases ("gross margin") with lower weight.
+	for _, g := range textutil.NGrams(tokens, 2) {
+		addFeature(&v, g, 0.5)
+	}
+	normalize(&v)
+	return v
+}
+
+func addFeature(v *Vector, feature string, weight float64) {
+	h := fnv1a(feature)
+	idx := int(h % Dim)
+	sign := 1.0
+	if (h>>32)&1 == 1 {
+		sign = -1.0
+	}
+	v[idx] += sign * weight
+}
+
+func normalize(v *Vector) {
+	var sum float64
+	for _, x := range v {
+		sum += x * x
+	}
+	if sum == 0 {
+		return
+	}
+	inv := 1 / math.Sqrt(sum)
+	for i := range v {
+		v[i] *= inv
+	}
+}
+
+func fnv1a(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// Cosine returns the cosine similarity of a and b in [-1, 1]. Both inputs
+// are expected to be normalized (as produced by Text); the zero vector
+// yields 0 against anything.
+func Cosine(a, b Vector) float64 {
+	var dot float64
+	for i := range a {
+		dot += a[i] * b[i]
+	}
+	return dot
+}
+
+// Similarity is a convenience wrapper embedding both texts and returning
+// their cosine similarity clamped to [0, 1]. It is the SES metric used for
+// knowledge-quality evaluation (§VII-C.1): 1 means identical, 0 irrelevant.
+func Similarity(a, b string) float64 {
+	c := Cosine(Text(a), Text(b))
+	if c < 0 {
+		return 0
+	}
+	return c
+}

@@ -1,0 +1,239 @@
+// Package index provides the two retrieval indexes the knowledge graph is
+// served from: an inverted index with TF-IDF scoring (the Elasticsearch
+// full-text role in the paper) and a vector index over deterministic
+// embeddings (the StarRocks embedding-search role). Both index the same
+// triplet structure {name, content, tag} from §IV-B.
+package index
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"datalab/internal/embed"
+	"datalab/internal/textutil"
+)
+
+// Entry is one indexed document: the triplet the paper's task-aware
+// indexing mechanism stores per knowledge node.
+type Entry struct {
+	ID      string // unique node identifier
+	Name    string
+	Content string // concatenation of knowledge components, task-specific
+	Tag     string
+}
+
+// Hit is one retrieval result.
+type Hit struct {
+	ID    string
+	Score float64
+}
+
+// Lexical is an inverted index with TF-IDF ranking.
+type Lexical struct {
+	mu       sync.RWMutex
+	postings map[string]map[string]int // token -> docID -> term frequency
+	docLen   map[string]int
+	entries  map[string]Entry
+}
+
+// NewLexical returns an empty lexical index.
+func NewLexical() *Lexical {
+	return &Lexical{
+		postings: map[string]map[string]int{},
+		docLen:   map[string]int{},
+		entries:  map[string]Entry{},
+	}
+}
+
+// Add indexes (or reindexes) an entry. The name field is weighted 3x: a
+// query term hitting a node's name is a far stronger signal than one
+// hitting its prose content.
+func (ix *Lexical) Add(e Entry) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if _, exists := ix.entries[e.ID]; exists {
+		ix.removeLocked(e.ID)
+	}
+	ix.entries[e.ID] = e
+	tokens := textutil.Tokenize(e.Name)
+	weighted := make([]string, 0, len(tokens)*3)
+	for i := 0; i < 3; i++ {
+		weighted = append(weighted, tokens...)
+	}
+	weighted = append(weighted, textutil.Tokenize(e.Content)...)
+	weighted = append(weighted, textutil.Tokenize(e.Tag)...)
+	for _, t := range weighted {
+		if textutil.IsStopword(t) {
+			continue
+		}
+		m, ok := ix.postings[t]
+		if !ok {
+			m = map[string]int{}
+			ix.postings[t] = m
+		}
+		m[e.ID]++
+		// Subword prefixes approximate the character-n-gram matching of
+		// production search engines: "imp_cnt" is findable from
+		// "impression count".
+		if len(t) >= 3 {
+			pt := "p3:" + t[:3]
+			pm, ok := ix.postings[pt]
+			if !ok {
+				pm = map[string]int{}
+				ix.postings[pt] = pm
+			}
+			pm[e.ID]++
+		}
+	}
+	ix.docLen[e.ID] = len(weighted)
+}
+
+// Remove deletes an entry from the index.
+func (ix *Lexical) Remove(id string) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.removeLocked(id)
+}
+
+func (ix *Lexical) removeLocked(id string) {
+	delete(ix.entries, id)
+	delete(ix.docLen, id)
+	for t, m := range ix.postings {
+		delete(m, id)
+		if len(m) == 0 {
+			delete(ix.postings, t)
+		}
+	}
+}
+
+// Len returns the number of indexed entries.
+func (ix *Lexical) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.entries)
+}
+
+// Entry returns the stored entry by ID.
+func (ix *Lexical) Entry(id string) (Entry, bool) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	e, ok := ix.entries[id]
+	return e, ok
+}
+
+// Search returns the top-k entries by TF-IDF score against the query.
+// Results are deterministic: ties break by ID.
+func (ix *Lexical) Search(query string, k int) []Hit {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	n := len(ix.entries)
+	if n == 0 || k <= 0 {
+		return nil
+	}
+	scores := map[string]float64{}
+	accumulate := func(term string, weight float64) {
+		m, ok := ix.postings[term]
+		if !ok {
+			return
+		}
+		idf := math.Log(1 + float64(n)/float64(len(m)))
+		for id, tf := range m {
+			dl := ix.docLen[id]
+			if dl == 0 {
+				dl = 1
+			}
+			scores[id] += weight * idf * float64(tf) / math.Sqrt(float64(dl))
+		}
+	}
+	for _, t := range textutil.ContentTokens(query) {
+		accumulate(t, 1)
+		if len(t) >= 3 {
+			accumulate("p3:"+t[:3], 0.4)
+		}
+	}
+	return topK(scores, k)
+}
+
+// Vector is a brute-force cosine-similarity index over embeddings.
+type Vector struct {
+	mu      sync.RWMutex
+	vecs    map[string]embed.Vector
+	entries map[string]Entry
+}
+
+// NewVector returns an empty vector index.
+func NewVector() *Vector {
+	return &Vector{vecs: map[string]embed.Vector{}, entries: map[string]Entry{}}
+}
+
+// Add indexes an entry under the embedding of name+content+tag.
+func (ix *Vector) Add(e Entry) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.entries[e.ID] = e
+	ix.vecs[e.ID] = embed.Text(e.Name + " " + e.Content + " " + e.Tag)
+}
+
+// Remove deletes an entry.
+func (ix *Vector) Remove(id string) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	delete(ix.entries, id)
+	delete(ix.vecs, id)
+}
+
+// Len returns the number of indexed entries.
+func (ix *Vector) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.entries)
+}
+
+// Search returns the top-k entries by cosine similarity to the query
+// embedding. Deterministic: ties break by ID.
+func (ix *Vector) Search(query string, k int) []Hit {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if len(ix.vecs) == 0 || k <= 0 {
+		return nil
+	}
+	qv := embed.Text(query)
+	scores := make(map[string]float64, len(ix.vecs))
+	for id, v := range ix.vecs {
+		if s := embed.Cosine(qv, v); s > 0 {
+			scores[id] = s
+		}
+	}
+	return topK(scores, k)
+}
+
+func topK(scores map[string]float64, k int) []Hit {
+	hits := make([]Hit, 0, len(scores))
+	for id, s := range scores {
+		hits = append(hits, Hit{ID: id, Score: s})
+	}
+	sort.Slice(hits, func(a, b int) bool {
+		if hits[a].Score != hits[b].Score {
+			return hits[a].Score > hits[b].Score
+		}
+		return hits[a].ID < hits[b].ID
+	})
+	if len(hits) > k {
+		hits = hits[:k]
+	}
+	return hits
+}
+
+// Merge unions two hit lists, summing scores for IDs present in both and
+// re-ranking. It implements the coarse-retrieval union of Algorithm 2.
+func Merge(a, b []Hit, k int) []Hit {
+	scores := map[string]float64{}
+	for _, h := range a {
+		scores[h.ID] += h.Score
+	}
+	for _, h := range b {
+		scores[h.ID] += h.Score
+	}
+	return topK(scores, k)
+}

@@ -1,0 +1,247 @@
+package insight
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"datalab/internal/table"
+)
+
+func seriesTable(t *testing.T, name string, xs []float64) *table.Table {
+	t.Helper()
+	tbl := table.MustNew(name, []string{"v"}, []table.Kind{table.KindFloat})
+	for _, x := range xs {
+		tbl.MustAppendRow(table.Float(x))
+	}
+	return tbl
+}
+
+func TestEDAFindsTrend(t *testing.T) {
+	xs := make([]float64, 24)
+	for i := range xs {
+		xs[i] = 100 + 10*float64(i)
+	}
+	insights := EDA(seriesTable(t, "rising", xs))
+	foundTrend := false
+	for _, in := range insights {
+		if in.Kind == "trend" && strings.Contains(in.Description, "upward") {
+			foundTrend = true
+		}
+	}
+	if !foundTrend {
+		t.Errorf("no upward trend found: %+v", insights)
+	}
+}
+
+func TestEDAFindsExtreme(t *testing.T) {
+	xs := []float64{10, 11, 9, 10, 12, 10, 11, 95}
+	insights := EDA(seriesTable(t, "spiky", xs))
+	found := false
+	for _, in := range insights {
+		if in.Kind == "extreme" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("spike not reported: %+v", insights)
+	}
+}
+
+func TestEDASkipsShortAndNonNumeric(t *testing.T) {
+	tbl := table.MustNew("t", []string{"s", "v"}, []table.Kind{table.KindString, table.KindFloat})
+	tbl.MustAppendRow(table.Str("a"), table.Float(1))
+	tbl.MustAppendRow(table.Str("b"), table.Float(2))
+	if got := EDA(tbl); len(got) != 0 {
+		t.Errorf("EDA on 2 rows should yield nothing: %+v", got)
+	}
+}
+
+func TestSummarizeRanksAndBounds(t *testing.T) {
+	ins := []Insight{
+		{Description: "minor.", Score: 0.1},
+		{Description: "major.", Score: 0.9},
+		{Description: "middling.", Score: 0.5},
+	}
+	s := Summarize(ins, 2)
+	if !strings.HasPrefix(s, "major.") {
+		t.Errorf("summary should lead with the top insight: %q", s)
+	}
+	if strings.Contains(s, "minor") {
+		t.Errorf("summary should cap at maxN: %q", s)
+	}
+}
+
+func TestDetectAnomaliesZScore(t *testing.T) {
+	xs := []float64{10, 11, 9, 10, 12, 10, 11, 10, 9, 100}
+	anoms, err := DetectAnomalies(seriesTable(t, "t", xs), "v", MethodZScore, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(anoms) != 1 || anoms[0].Value != 100 {
+		t.Errorf("anomalies = %+v", anoms)
+	}
+	if anoms[0].Row != 9 {
+		t.Errorf("row = %d, want 9", anoms[0].Row)
+	}
+}
+
+func TestDetectAnomaliesIQR(t *testing.T) {
+	xs := []float64{10, 11, 9, 10, 12, 10, 11, 10, 9, -50, 100}
+	anoms, err := DetectAnomalies(seriesTable(t, "t", xs), "v", MethodIQR, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(anoms) != 2 {
+		t.Fatalf("anomalies = %+v, want 2", anoms)
+	}
+	// Sorted by deviation: 100 is farther in IQR multiples than -50.
+	if anoms[0].Value != 100 {
+		t.Errorf("top anomaly = %v", anoms[0].Value)
+	}
+}
+
+func TestDetectAnomaliesEdgeCases(t *testing.T) {
+	if _, err := DetectAnomalies(seriesTable(t, "t", []float64{1, 2, 3}), "missing", MethodZScore, 3); err == nil {
+		t.Error("unknown column should error")
+	}
+	// Constant series: no anomalies, no division by zero.
+	anoms, err := DetectAnomalies(seriesTable(t, "t", []float64{5, 5, 5, 5, 5}), "v", MethodZScore, 3)
+	if err != nil || len(anoms) != 0 {
+		t.Errorf("constant series: %v %v", anoms, err)
+	}
+	// Too few rows: nil, no error.
+	anoms, err = DetectAnomalies(seriesTable(t, "t", []float64{1, 2}), "v", MethodIQR, 1.5)
+	if err != nil || anoms != nil {
+		t.Errorf("short series: %v %v", anoms, err)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	if got := Pearson(xs, ys); math.Abs(got-1) > 1e-9 {
+		t.Errorf("perfect correlation = %v", got)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if got := Pearson(xs, neg); math.Abs(got+1) > 1e-9 {
+		t.Errorf("perfect anti-correlation = %v", got)
+	}
+	if got := Pearson(xs, []float64{3, 3, 3, 3, 3}); got != 0 {
+		t.Errorf("constant series correlation = %v", got)
+	}
+	if got := Pearson(xs, ys[:3]); got != 0 {
+		t.Errorf("length mismatch should be 0, got %v", got)
+	}
+}
+
+func TestCausalAnalysisContemporaneous(t *testing.T) {
+	tbl := table.MustNew("t", []string{"spend", "revenue"}, []table.Kind{table.KindFloat, table.KindFloat})
+	for i := 0; i < 20; i++ {
+		s := float64(10 + i)
+		tbl.MustAppendRow(table.Float(s), table.Float(3*s+5))
+	}
+	findings := CausalAnalysis(tbl, 0, 0.8)
+	if len(findings) != 1 {
+		t.Fatalf("findings = %+v", findings)
+	}
+	if math.Abs(findings[0].Correlation-1) > 1e-9 {
+		t.Errorf("correlation = %v", findings[0].Correlation)
+	}
+	if !strings.Contains(findings[0].Describe(), "move together") {
+		t.Errorf("describe = %q", findings[0].Describe())
+	}
+}
+
+func TestCausalAnalysisLagged(t *testing.T) {
+	// revenue follows spend with a 2-period lag.
+	n := 30
+	spend := make([]float64, n)
+	for i := range spend {
+		spend[i] = math.Sin(float64(i) / 3)
+	}
+	tbl := table.MustNew("t", []string{"spend", "revenue"}, []table.Kind{table.KindFloat, table.KindFloat})
+	for i := 0; i < n; i++ {
+		rev := 0.0
+		if i >= 2 {
+			rev = 10 * spend[i-2]
+		}
+		tbl.MustAppendRow(table.Float(spend[i]), table.Float(rev))
+	}
+	findings := CausalAnalysis(tbl, 4, 0.7)
+	found := false
+	for _, f := range findings {
+		if f.Cause == "spend" && f.Effect == "revenue" && f.Lag == 2 {
+			found = true
+			if !strings.Contains(f.Describe(), "leads") {
+				t.Errorf("lagged describe = %q", f.Describe())
+			}
+		}
+	}
+	if !found {
+		t.Errorf("lag-2 association not found: %+v", findings)
+	}
+}
+
+func TestForecastLinearTrend(t *testing.T) {
+	series := make([]float64, 20)
+	for i := range series {
+		series[i] = 100 + 5*float64(i)
+	}
+	fc, err := Forecast(series, 3, 0.5, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fc) != 3 {
+		t.Fatalf("forecast length = %d", len(fc))
+	}
+	// A clean linear series must extrapolate close to the true line.
+	for i, want := range []float64{200, 205, 210} {
+		if math.Abs(fc[i]-want) > 5 {
+			t.Errorf("fc[%d] = %.2f, want ~%.0f", i, fc[i], want)
+		}
+	}
+	// Forecasts continue the upward direction.
+	if !(fc[0] < fc[1] && fc[1] < fc[2]) {
+		t.Errorf("forecast not monotone: %v", fc)
+	}
+}
+
+func TestForecastValidation(t *testing.T) {
+	if _, err := Forecast([]float64{1, 2}, 3, 0.5, 0.3); err == nil {
+		t.Error("short series accepted")
+	}
+	if _, err := Forecast([]float64{1, 2, 3, 4}, 3, 1.5, 0.3); err == nil {
+		t.Error("alpha out of range accepted")
+	}
+	if _, err := Forecast([]float64{1, 2, 3, 4}, 3, 0.5, 0); err == nil {
+		t.Error("beta out of range accepted")
+	}
+}
+
+func TestForecastColumn(t *testing.T) {
+	xs := []float64{10, 12, 14, 16, 18, 20}
+	fc, err := ForecastColumn(seriesTable(t, "t", xs), "v", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fc) != 2 || fc[0] <= 20 {
+		t.Errorf("forecast = %v", fc)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5}
+	if got := quantile(sorted, 0.5); got != 3 {
+		t.Errorf("median = %v", got)
+	}
+	if got := quantile(sorted, 0); got != 1 {
+		t.Errorf("q0 = %v", got)
+	}
+	if got := quantile(sorted, 1); got != 5 {
+		t.Errorf("q1 = %v", got)
+	}
+	if got := quantile(nil, 0.5); got != 0 {
+		t.Errorf("empty = %v", got)
+	}
+}

@@ -1,0 +1,185 @@
+package knowledge
+
+import (
+	"fmt"
+	"strings"
+
+	"datalab/internal/llm"
+	"datalab/internal/table"
+	"datalab/internal/textutil"
+)
+
+// Profiler implements the fallback strategy of §IV-C for in-the-wild
+// tables with no script history: (1) heuristics-based analysis computes
+// per-column statistics, and (2) LLM-based interpretation turns the
+// statistics into semantic descriptions feeding DSL translation.
+type Profiler struct {
+	Client *llm.Client
+	// SampleN bounds the random sample list per column.
+	SampleN int
+}
+
+// NewProfiler returns a profiler with the default sample size.
+func NewProfiler(client *llm.Client) *Profiler {
+	return &Profiler{Client: client, SampleN: 5}
+}
+
+// Profile produces a knowledge bundle for a raw table. Descriptions are
+// synthesized from column-name tokens, inferred roles, and value samples —
+// exactly the information the stage-2 LLM interpretation works from.
+func (p *Profiler) Profile(t *table.Table) *Bundle {
+	stats := t.Profile(p.SampleN)
+	b := &Bundle{
+		Table: TableKnowledge{
+			Name:        t.Name,
+			Description: p.tableDescription(t, stats),
+			Usage:       "ad-hoc analysis table (profiled, no script history)",
+			Tags:        []string{"profiled"},
+		},
+	}
+	var prompt strings.Builder
+	for _, st := range stats {
+		prompt.WriteString(st.Describe())
+		prompt.WriteByte('\n')
+		ck := ColumnKnowledge{
+			Name:        strings.ToLower(st.Name),
+			Table:       t.Name,
+			Type:        kindToWarehouseType(st.Kind),
+			Description: columnDescription(st),
+			Usage:       columnUsage(st),
+			Tags:        columnTags(st),
+		}
+		b.Columns = append(b.Columns, ck)
+
+		// Low-cardinality string columns contribute value knowledge: their
+		// top values are likely filter targets.
+		if st.IsCategorical {
+			for _, v := range st.TopValues {
+				b.Values = append(b.Values, ValueKnowledge{
+					Column:      strings.ToLower(st.Name),
+					Table:       t.Name,
+					Value:       v,
+					Description: fmt.Sprintf("a value of %s", st.Name),
+				})
+			}
+		}
+	}
+	p.Client.Charge(prompt.String(), b.Table.Description)
+	return b
+}
+
+func (p *Profiler) tableDescription(t *table.Table, stats []table.ColumnStats) string {
+	var roles []string
+	for _, st := range stats {
+		switch {
+		case st.IsNumeric:
+			roles = append(roles, st.Name+" (metric)")
+		case st.IsTimeLike:
+			roles = append(roles, st.Name+" (time)")
+		case st.IsCategorical:
+			roles = append(roles, st.Name+" (category)")
+		}
+	}
+	return fmt.Sprintf("table %s with %d rows covering %s",
+		t.Name, t.NumRows(), strings.Join(roles, ", "))
+}
+
+// columnDescription is the simulated stage-2 interpretation: it grounds
+// the description in the column's name tokens and observed values, which
+// is what gives clean research-benchmark schemas high linkability.
+func columnDescription(st table.ColumnStats) string {
+	words := strings.Join(textutil.Tokenize(st.Name), " ")
+	switch {
+	case st.IsTimeLike:
+		return fmt.Sprintf("%s: date or time of the record", words)
+	case st.IsNumeric:
+		return fmt.Sprintf("%s: numeric measure ranging %s to %s", words, st.Min.AsString(), st.Max.AsString())
+	case st.IsIdentifier:
+		return fmt.Sprintf("%s: unique identifier", words)
+	case st.IsCategorical:
+		return fmt.Sprintf("%s: category taking values such as %s", words, strings.Join(st.TopValues, ", "))
+	default:
+		return fmt.Sprintf("%s: free-form attribute", words)
+	}
+}
+
+func columnUsage(st table.ColumnStats) string {
+	switch {
+	case st.IsNumeric:
+		return "suitable for aggregation (sum, avg, min, max)"
+	case st.IsTimeLike:
+		return "suitable for time filters and trend grouping"
+	case st.IsCategorical:
+		return "suitable for grouping and equality filters"
+	default:
+		return "attribute column"
+	}
+}
+
+func columnTags(st table.ColumnStats) []string {
+	var tags []string
+	if st.IsNumeric {
+		tags = append(tags, "measure")
+	}
+	if st.IsCategorical {
+		tags = append(tags, "dimension")
+	}
+	if st.IsTimeLike {
+		tags = append(tags, "time")
+	}
+	if st.IsIdentifier {
+		tags = append(tags, "identifier")
+	}
+	if len(tags) == 0 {
+		tags = append(tags, "attribute")
+	}
+	return tags
+}
+
+func kindToWarehouseType(k table.Kind) string {
+	switch k {
+	case table.KindInt:
+		return "bigint"
+	case table.KindFloat:
+		return "double"
+	case table.KindBool:
+		return "boolean"
+	case table.KindTime:
+		return "timestamp"
+	default:
+		return "string"
+	}
+}
+
+// Candidates converts a profiled bundle directly into translator
+// candidates — the path research-benchmark tasks take, where there is no
+// knowledge graph, only profiling.
+func (b *Bundle) Candidates() []CandidateColumn {
+	out := make([]CandidateColumn, 0, len(b.Columns))
+	for _, ck := range b.Columns {
+		c := CandidateColumn{
+			Name:        ck.Name,
+			Table:       ck.Table,
+			Type:        ck.Type,
+			Description: ck.Description,
+			Usage:       ck.Usage,
+			Tags:        strings.Join(ck.Tags, " "),
+			Derived:     ck.Derived,
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// ValueHintsFrom builds translator value hints from a bundle's value
+// knowledge.
+func (b *Bundle) ValueHints() []ValueHint {
+	out := make([]ValueHint, 0, len(b.Values))
+	for _, v := range b.Values {
+		out = append(out, ValueHint{Term: v.Value, Column: v.Column, Value: v.Value})
+		for _, a := range v.Aliases {
+			out = append(out, ValueHint{Term: a, Column: v.Column, Value: v.Value})
+		}
+	}
+	return out
+}

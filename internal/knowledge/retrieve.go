@@ -1,0 +1,249 @@
+package knowledge
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"datalab/internal/embed"
+	"datalab/internal/index"
+	"datalab/internal/llm"
+	"datalab/internal/textutil"
+)
+
+// Retriever runs Algorithm 2 (coarse-to-fine knowledge retrieval) plus the
+// query-rewrite step that precedes it.
+type Retriever struct {
+	Graph  *Graph
+	Client *llm.Client
+	// Weights for the fine-grained ordering stage (ω1 lexical, ω2 semantic,
+	// ω3 LLM-judged overall relevance).
+	LexWeight, SemWeight, LLMWeight float64
+	// CoarseK is the loose coarse-retrieval cutoff (recall-oriented).
+	CoarseK int
+	// Now anchors temporal-reference standardization.
+	Now time.Time
+}
+
+// NewRetriever returns a retriever with the paper's default weighting.
+func NewRetriever(g *Graph, client *llm.Client) *Retriever {
+	return &Retriever{
+		Graph:     g,
+		Client:    client,
+		LexWeight: 0.4, SemWeight: 0.4, LLMWeight: 0.2,
+		CoarseK: 150,
+		Now:     time.Date(2024, 11, 21, 0, 0, 0, 0, time.UTC),
+	}
+}
+
+// Rewrite enhances a raw query: it resolves elliptical follow-ups
+// ("what about this year?") against chat history and standardizes
+// temporal references against the current time (§IV-C, Query Rewrite).
+func (r *Retriever) Rewrite(query string, history []string) string {
+	out := strings.TrimSpace(query)
+
+	// Temporal standardization first, so a follow-up like "what about
+	// this year?" contributes a concrete year before prior context (with
+	// its stale temporal terms) is merged in.
+	out = r.standardizeTemporal(out)
+
+	// Elliptical follow-up: import the prior query's content terms.
+	lower := strings.ToLower(out)
+	elliptical := strings.HasPrefix(strings.ToLower(query), "what about") ||
+		strings.HasPrefix(strings.ToLower(query), "how about") ||
+		strings.HasPrefix(strings.ToLower(query), "and for") ||
+		len(textutil.ContentTokens(lower)) <= 2
+	if elliptical && len(history) > 0 {
+		prev := history[len(history)-1]
+		prevTokens := textutil.ContentTokens(prev)
+		curTokens := textutil.ContentTokens(out)
+		curSet := map[string]bool{}
+		for _, t := range curTokens {
+			curSet[t] = true
+		}
+		merged := append([]string{}, curTokens...)
+		for _, t := range prevTokens {
+			if !curSet[t] && !isTemporalToken(t) {
+				merged = append(merged, t)
+			}
+		}
+		out = strings.Join(merged, " ")
+	}
+	r.Client.Charge("rewrite: "+query, out)
+	return out
+}
+
+func (r *Retriever) standardizeTemporal(out string) string {
+	replacements := []struct{ phrase, repl string }{
+		{"this year", fmt.Sprintf("in %d", r.Now.Year())},
+		{"last year", fmt.Sprintf("in %d", r.Now.Year()-1)},
+		{"this month", fmt.Sprintf("in %d-%02d", r.Now.Year(), int(r.Now.Month()))},
+		{"last month", lastMonth(r.Now)},
+		{"today", "on " + r.Now.Format("2006-01-02")},
+		{"yesterday", "on " + r.Now.AddDate(0, 0, -1).Format("2006-01-02")},
+	}
+	outLower := strings.ToLower(out)
+	for _, rp := range replacements {
+		for {
+			i := strings.Index(outLower, rp.phrase)
+			if i < 0 {
+				break
+			}
+			out = out[:i] + rp.repl + out[i+len(rp.phrase):]
+			outLower = strings.ToLower(out)
+		}
+	}
+	return out
+}
+
+func lastMonth(now time.Time) string {
+	prev := now.AddDate(0, -1, 0)
+	return fmt.Sprintf("in %d-%02d", prev.Year(), int(prev.Month()))
+}
+
+func isTemporalToken(t string) bool {
+	if _, err := strconv.Atoi(t); err == nil && len(t) == 4 {
+		return true
+	}
+	switch t {
+	case "year", "month", "day", "today", "yesterday", "last", "quarter":
+		return true
+	}
+	return false
+}
+
+// Scored is one retrieved node with its weighted matching score.
+type Scored struct {
+	Node  *Node
+	Score float64
+}
+
+// Retrieve implements Algorithm 2: coarse lexical+semantic retrieval with
+// a loose threshold, alias backtracking, fine-grained weighted ordering,
+// and top-K selection.
+func (r *Retriever) Retrieve(query string, topK int) []Scored {
+	return r.retrieve(query, topK, false)
+}
+
+// RetrieveLight retrieves against the task-aware light index (names +
+// descriptions only) — the right index for schema linking, where long
+// calculation-logic text only dilutes term statistics.
+func (r *Retriever) RetrieveLight(query string, topK int) []Scored {
+	return r.retrieve(query, topK, true)
+}
+
+func (r *Retriever) retrieve(query string, topK int, light bool) []Scored {
+	lexIx, vecIx := r.Graph.lex, r.Graph.vec
+	if light {
+		lexIx, vecIx = r.Graph.lexLight, r.Graph.vecLight
+	}
+	coarseLex := lexIx.Search(query, r.CoarseK)
+	coarseSem := vecIx.Search(query, r.CoarseK)
+	merged := index.Merge(coarseLex, coarseSem, r.CoarseK*2)
+
+	// Backtrack aliases to primaries; deduplicate.
+	seen := map[string]bool{}
+	var candidates []*Node
+	for _, h := range merged {
+		n := r.Graph.Backtrack(h.ID)
+		if n == nil || seen[n.ID] {
+			continue
+		}
+		seen[n.ID] = true
+		candidates = append(candidates, n)
+	}
+
+	qTokens := textutil.ContentTokens(query)
+	qVec := embed.Text(query)
+	scored := make([]Scored, 0, len(candidates))
+	for _, n := range candidates {
+		content := n.Name + " " + n.Component("description") + " " + n.Component("usage") + " " + n.Component("definition")
+		lexScore := textutil.OverlapRatio(textutil.ContentTokens(n.Name), qTokens)*0.6 +
+			textutil.OverlapRatio(qTokens, textutil.ContentTokens(content))*0.4
+		semScore := embed.Cosine(qVec, embed.Text(content))
+		if semScore < 0 {
+			semScore = 0
+		}
+		// The LLM relevance judgment concentrates around the mean of the
+		// two mechanical signals — it mostly agrees, with bounded noise.
+		llmScore := r.Client.Score("rel:"+n.ID+"|"+query, 0, 1, (lexScore+semScore)/2)
+		s := r.LexWeight*lexScore + r.SemWeight*semScore + r.LLMWeight*llmScore
+		scored = append(scored, Scored{Node: n, Score: s})
+	}
+	sort.Slice(scored, func(a, b int) bool {
+		if scored[a].Score != scored[b].Score {
+			return scored[a].Score > scored[b].Score
+		}
+		return scored[a].Node.ID < scored[b].Node.ID
+	})
+	if len(scored) > topK {
+		scored = scored[:topK]
+	}
+	return scored
+}
+
+// RetrieveColumnsScoped retrieves column nodes belonging to one table —
+// the path agents take once the proxy has fixed the target table. Without
+// scoping, homonymous columns from sibling tables (every table has a
+// net_margin) crowd the candidate list.
+func (r *Retriever) RetrieveColumnsScoped(query, tableName string, topK int) []Scored {
+	prefix := "column:" + strings.ToLower(tableName) + "."
+	all := r.RetrieveColumns(query, r.CoarseK)
+	var out []Scored
+	for _, s := range all {
+		if strings.HasPrefix(s.Node.ID, prefix) {
+			out = append(out, s)
+			if len(out) == topK {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// RetrieveColumns is a convenience wrapper returning only column nodes
+// (the schema-linking task consumes these).
+func (r *Retriever) RetrieveColumns(query string, topK int) []Scored {
+	all := r.RetrieveLight(query, r.CoarseK)
+	var cols []Scored
+	for _, s := range all {
+		if s.Node.Type == NodeColumn {
+			cols = append(cols, s)
+			continue
+		}
+		// Jargon nodes that map to a column count as retrieving it.
+		if s.Node.Type == NodeJargon {
+			if col := s.Node.Component("maps_to_column"); col != "" {
+				tbl := s.Node.Component("maps_to_table")
+				if n, ok := r.Graph.Node(ColumnID(tbl, col)); ok {
+					cols = append(cols, Scored{Node: n, Score: s.Score})
+					continue
+				}
+				// Derived columns hang off their base column.
+				for _, id := range r.Graph.NodesOfType(NodeColumn) {
+					n, _ := r.Graph.Node(id)
+					if n != nil && strings.EqualFold(n.Name, col) {
+						cols = append(cols, Scored{Node: n, Score: s.Score})
+						break
+					}
+				}
+			}
+		}
+	}
+	// Deduplicate preserving best score order.
+	seen := map[string]bool{}
+	var out []Scored
+	for _, s := range cols {
+		if seen[s.Node.ID] {
+			continue
+		}
+		seen[s.Node.ID] = true
+		out = append(out, s)
+		if len(out) == topK {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,539 @@
+package knowledge
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"datalab/internal/dsl"
+	"datalab/internal/llm"
+	"datalab/internal/textutil"
+)
+
+// CandidateColumn is the linked-schema view the translator works from:
+// whatever the retrieval stage surfaced for one column, at whatever
+// knowledge level the graph holds.
+type CandidateColumn struct {
+	Name        string
+	Table       string
+	Type        string // warehouse type
+	Description string
+	Usage       string
+	Tags        string
+	// Derived carries LevelFull calculation logic for metrics computed
+	// from this column.
+	Derived []DerivedColumn
+}
+
+// IsNumeric reports whether the column can serve as a measure.
+func (c CandidateColumn) IsNumeric() bool {
+	switch strings.ToLower(c.Type) {
+	case "int", "integer", "bigint", "double", "float", "real", "decimal", "number":
+		return true
+	}
+	return strings.Contains(c.Tags, "measure")
+}
+
+// IsTemporal reports whether the column is time-like.
+func (c CandidateColumn) IsTemporal() bool {
+	switch strings.ToLower(c.Type) {
+	case "date", "timestamp", "datetime", "time":
+		return true
+	}
+	n := strings.ToLower(c.Name)
+	for _, kw := range []string{"time", "date", "ftime", "dt", "day", "month", "year"} {
+		if strings.Contains(n, kw) {
+			return true
+		}
+	}
+	return false
+}
+
+// matchScore measures how well the column answers a set of query tokens.
+// Name tokens count fully; description/usage tokens count when present —
+// this is exactly where knowledge level changes outcomes.
+func (c CandidateColumn) matchScore(tokens []string) float64 {
+	nameTokens := textutil.ContentTokens(c.Name)
+	score := fuzzyCover(nameTokens, tokens) * 1.0
+	if c.Description != "" {
+		score += fuzzyCover(tokens, textutil.ContentTokens(c.Description)) * 0.9
+	}
+	if c.Usage != "" {
+		score += fuzzyCover(tokens, textutil.ContentTokens(c.Usage)) * 0.3
+	}
+	return score
+}
+
+// fuzzyCover returns the fraction of a's tokens that match some token in
+// b, where tokens match when equal or when one is a prefix of the other
+// with at least three shared characters ("profit" ~ "profitable", and the
+// warehouse abbreviation "rev" ~ "revenue" that profiling-based linking
+// resolves).
+func fuzzyCover(a, b []string) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	hit := 0
+	for _, t := range a {
+		for _, u := range b {
+			if tokensMatch(t, u) {
+				hit++
+				break
+			}
+		}
+	}
+	return float64(hit) / float64(len(a))
+}
+
+func tokensMatch(a, b string) bool {
+	if a == b {
+		return true
+	}
+	short, long := a, b
+	if len(short) > len(long) {
+		short, long = long, short
+	}
+	return len(short) >= 3 && strings.HasPrefix(long, short)
+}
+
+// CandidateFromNode converts a graph column node into a candidate.
+func CandidateFromNode(n *Node) CandidateColumn {
+	c := CandidateColumn{
+		Name:        n.Name,
+		Type:        n.Component("type"),
+		Description: n.Component("description"),
+		Usage:       n.Component("usage"),
+		Tags:        n.Component("tags"),
+	}
+	if logic := n.Component("calculation_logic"); logic != "" {
+		c.Derived = []DerivedColumn{{
+			Name:             n.Name,
+			Description:      n.Component("description"),
+			CalculationLogic: logic,
+			RelatedColumns:   strings.Fields(n.Component("related_columns")),
+		}}
+	}
+	return c
+}
+
+// ValueHint links a query term to a concrete filter (from value knowledge
+// or jargon maps_to_value).
+type ValueHint struct {
+	Term   string // as it may appear in the query
+	Column string
+	Value  string
+}
+
+// TranslateRequest bundles the inputs of DSL translation.
+type TranslateRequest struct {
+	Query      string
+	Table      string
+	Candidates []CandidateColumn
+	ValueHints []ValueHint
+	// Key uniquely identifies this task instance for deterministic
+	// residual-error draws.
+	Key string
+	// Skill is the model skill bound for this task (usually
+	// profile.InstructionFollowing x Reasoning blend chosen by caller).
+	Skill float64
+	// Quality carries the context-quality features for the error model.
+	Quality llm.Quality
+}
+
+// Translator converts NL queries into DSL specs given linked schema
+// context. The mechanical path is deterministic; the simulated LLM
+// contributes residual error (a plausible-but-wrong spec) at a rate set
+// by skill and context quality.
+type Translator struct {
+	Client *llm.Client
+}
+
+// aggregate keyword table.
+var aggWords = []struct {
+	word string
+	agg  string
+}{
+	{"total", "sum"}, {"sum", "sum"}, {"overall", "sum"},
+	{"average", "avg"}, {"mean", "avg"}, {"avg", "avg"},
+	{"count", "count"}, {"number", "count"}, {"how many", "count"},
+	{"maximum", "max"}, {"max", "max"}, {"highest", "max"}, {"peak", "max"},
+	{"minimum", "min"}, {"min", "min"}, {"lowest", "min"},
+	{"median", "median"},
+}
+
+var chartWords = []struct {
+	word string
+	mark string
+}{
+	{"bar chart", "bar"}, {"bar", "bar"},
+	{"line chart", "line"}, {"trend", "line"}, {"over time", "line"},
+	{"pie", "arc"}, {"proportion", "arc"}, {"share", "arc"},
+	{"scatter", "point"}, {"correlation", "point"},
+	{"area", "area"},
+}
+
+// Translate produces a DSL spec. The boolean result reports whether the
+// translation is faithful; on a residual-error draw the spec is corrupted
+// the way LLM mistakes present (wrong column, dropped condition) and
+// false is returned so callers can model downstream failure honestly.
+func (t *Translator) Translate(req TranslateRequest) (*dsl.Spec, bool) {
+	lower := strings.ToLower(req.Query)
+	tokens := textutil.ContentTokens(req.Query)
+
+	spec := &dsl.Spec{
+		Intent: req.Query,
+		Table:  req.Table,
+	}
+
+	// --- Measures ---
+	agg := ""
+	for _, aw := range aggWords {
+		if strings.Contains(lower, aw.word) {
+			agg = aw.agg
+			break
+		}
+	}
+	measureCol, measureScore := t.bestColumn(tokens, req.Candidates, func(c CandidateColumn) bool { return c.IsNumeric() })
+	// Derived columns may outrank base ones when named in the query.
+	derivedPick := t.bestDerived(tokens, req.Candidates)
+	if derivedPick != nil && derivedPick.score > measureScore {
+		spec.MeasureList = append(spec.MeasureList, dsl.Measure{
+			Column:    derivedPick.d.Name,
+			Aggregate: fallbackAgg(agg, "sum"),
+			Alias:     derivedPick.d.Name,
+		})
+	} else if measureCol != nil {
+		if agg == "count" && !measureCol.IsNumeric() {
+			spec.MeasureList = append(spec.MeasureList, dsl.Measure{Column: measureCol.Name, Aggregate: "count"})
+		} else {
+			spec.MeasureList = append(spec.MeasureList, dsl.Measure{
+				Column:    measureCol.Name,
+				Aggregate: fallbackAgg(agg, "sum"),
+			})
+		}
+	} else if agg == "count" {
+		// COUNT of rows needs no measure column; pick any candidate.
+		if len(req.Candidates) > 0 {
+			spec.MeasureList = append(spec.MeasureList, dsl.Measure{Column: req.Candidates[0].Name, Aggregate: "count"})
+		}
+	}
+
+	// --- Dimensions ---
+	// In "top 3 region by total revenue" the phrase after "by" names the
+	// ranking measure; aggregate words are stripped and a resolution that
+	// collides with the chosen measure is discarded (the superlative
+	// fallback below finds the real dimension).
+	dimTokens := dimensionTokens(lower)
+	if len(dimTokens) > 0 {
+		if dim, _ := t.bestColumn(dimTokens, req.Candidates, func(c CandidateColumn) bool { return true }); dim != nil {
+			// COUNT legitimately counts the grouping column itself; other
+			// aggregates colliding with the dimension mean the "by" phrase
+			// named the measure.
+			collides := len(spec.MeasureList) > 0 &&
+				strings.EqualFold(dim.Name, spec.MeasureList[0].Column) &&
+				spec.MeasureList[0].Aggregate != "count"
+			if !collides {
+				spec.DimensionList = append(spec.DimensionList, dim.Name)
+			}
+		}
+	}
+	// Temporal grouping words.
+	for _, w := range []string{"monthly", "per month", "by month", "daily", "per day", "yearly", "by year", "over time"} {
+		if strings.Contains(lower, w) {
+			if tc := firstTemporal(req.Candidates); tc != nil && !contains(spec.DimensionList, tc.Name) {
+				spec.DimensionList = append(spec.DimensionList, tc.Name)
+			}
+			break
+		}
+	}
+	// Superlative queries group by the entity being ranked even without an
+	// explicit "by" phrase ("the most profitable product" ranks products).
+	superlative := false
+	for _, w := range []string{"most", "least", "highest", "lowest", "best", "worst", "top "} {
+		if strings.Contains(lower, w) {
+			superlative = true
+			break
+		}
+	}
+	if superlative && len(spec.DimensionList) == 0 {
+		if dim, _ := t.bestColumn(tokens, req.Candidates, func(c CandidateColumn) bool {
+			return !c.IsNumeric() && !c.IsTemporal()
+		}); dim != nil {
+			spec.DimensionList = append(spec.DimensionList, dim.Name)
+		}
+	}
+
+	// --- Conditions ---
+	// Value hints match on whole tokens: the value "high" must not fire
+	// inside the word "highest".
+	allTokens := textutil.Tokenize(req.Query)
+	for _, hint := range req.ValueHints {
+		if hint.Term == "" {
+			continue
+		}
+		if phraseInTokens(allTokens, textutil.Tokenize(hint.Term)) {
+			spec.ConditionList = append(spec.ConditionList, dsl.Condition{
+				Column: hint.Column, Operator: "=", Value: hint.Value,
+			})
+		}
+	}
+	// Year references become temporal range conditions.
+	for _, tok := range tokens {
+		if year, ok := parseYear(tok); ok {
+			if tc := firstTemporal(req.Candidates); tc != nil {
+				spec.ConditionList = append(spec.ConditionList, dsl.Condition{
+					Column:   tc.Name,
+					Operator: "between",
+					Value:    fmt.Sprintf("%d-01-01", year),
+					Value2:   fmt.Sprintf("%d-12-31", year),
+				})
+			}
+			break
+		}
+	}
+
+	// --- Superlatives: top-N / most / least ---
+	if len(spec.MeasureList) > 0 {
+		m := spec.MeasureList[0]
+		alias := m.Alias
+		if alias == "" {
+			alias = strings.ToLower(fallbackAgg(m.Aggregate, "sum")) + "_" + m.Column
+		}
+		switch {
+		case strings.Contains(lower, "top "):
+			if n := topN(lower); n > 0 {
+				spec.OrderByList = []dsl.OrderBy{{Column: alias, Desc: true}}
+				spec.Limit = n
+			}
+		case strings.Contains(lower, "most") || strings.Contains(lower, "highest") || strings.Contains(lower, "best"):
+			spec.OrderByList = []dsl.OrderBy{{Column: alias, Desc: true}}
+			if len(spec.DimensionList) > 0 && !strings.Contains(lower, "chart") {
+				spec.Limit = 1
+			}
+		case strings.Contains(lower, "least") || strings.Contains(lower, "lowest") || strings.Contains(lower, "worst"):
+			spec.OrderByList = []dsl.OrderBy{{Column: alias}}
+			if len(spec.DimensionList) > 0 {
+				spec.Limit = 1
+			}
+		}
+	}
+
+	// --- Chart type ---
+	for _, cw := range chartWords {
+		if strings.Contains(lower, cw.word) {
+			spec.ChartType = cw.mark
+			break
+		}
+	}
+
+	// Nothing selected at all: the honest failure of linking.
+	t.Client.Charge(promptFor(req), spec.JSON())
+	if len(spec.MeasureList) == 0 && len(spec.DimensionList) == 0 {
+		return spec, false
+	}
+
+	// Residual model error: corrupt the spec on a failed draw.
+	if !t.Client.Attempt("translate:"+req.Key, "", "", req.Skill, req.Quality) {
+		t.corrupt(spec, req)
+		return spec, false
+	}
+	return spec, true
+}
+
+func promptFor(req TranslateRequest) string {
+	var sb strings.Builder
+	sb.WriteString(req.Query)
+	for _, c := range req.Candidates {
+		sb.WriteString(" | ")
+		sb.WriteString(c.Name)
+		sb.WriteString(" ")
+		sb.WriteString(c.Description)
+	}
+	return sb.String()
+}
+
+// corrupt applies a plausible LLM mistake, deterministically chosen.
+func (t *Translator) corrupt(spec *dsl.Spec, req TranslateRequest) {
+	mode := int(llm.NewRand("corrupt:"+req.Key).Float64() * 3)
+	switch {
+	case mode == 0 && len(spec.ConditionList) > 0:
+		spec.ConditionList = spec.ConditionList[:len(spec.ConditionList)-1]
+	case mode == 1 && len(spec.MeasureList) > 0 && len(req.Candidates) > 1:
+		// Swap the measure for a lexically-plausible wrong numeric column.
+		for _, c := range req.Candidates {
+			if c.IsNumeric() && !strings.EqualFold(c.Name, spec.MeasureList[0].Column) {
+				spec.MeasureList[0].Column = c.Name
+				break
+			}
+		}
+	default:
+		if len(spec.MeasureList) > 0 {
+			spec.MeasureList[0].Aggregate = wrongAgg(spec.MeasureList[0].Aggregate)
+		}
+	}
+}
+
+func wrongAgg(a string) string {
+	if a == "sum" {
+		return "avg"
+	}
+	return "sum"
+}
+
+type derivedPick struct {
+	d     DerivedColumn
+	score float64
+}
+
+func (t *Translator) bestDerived(tokens []string, cands []CandidateColumn) *derivedPick {
+	var best *derivedPick
+	for _, c := range cands {
+		for _, d := range c.Derived {
+			// A derived metric wins only when the query names it in full
+			// ("annualized income" must not hijack a plain "income" ask).
+			nameCover := fuzzyCover(textutil.ContentTokens(d.Name), tokens)
+			if nameCover < 0.99 {
+				continue
+			}
+			s := 1.2 + fuzzyCover(tokens, textutil.ContentTokens(d.Description))*0.8
+			if best == nil || s > best.score {
+				best = &derivedPick{d: d, score: s}
+			}
+		}
+	}
+	return best
+}
+
+// bestColumn returns the candidate maximizing matchScore over tokens,
+// subject to the filter, with a floor that rejects noise matches.
+func (t *Translator) bestColumn(tokens []string, cands []CandidateColumn, ok func(CandidateColumn) bool) (*CandidateColumn, float64) {
+	var best *CandidateColumn
+	bestScore := 0.0
+	for i := range cands {
+		c := &cands[i]
+		if !ok(*c) {
+			continue
+		}
+		// Derived metrics only count when the query names them in full;
+		// otherwise "annualized_income" would hijack every "income" ask.
+		if strings.Contains(c.Tags, "derived") &&
+			fuzzyCover(textutil.ContentTokens(c.Name), tokens) < 0.99 {
+			continue
+		}
+		s := c.matchScore(tokens)
+		if s > bestScore {
+			bestScore = s
+			best = c
+		}
+	}
+	if bestScore < 0.15 {
+		return nil, 0
+	}
+	return best, bestScore
+}
+
+// dimensionTokens extracts the grouping phrase after "by"/"per"/"for
+// each", dropping aggregate vocabulary ("by total revenue" ranks by a
+// measure, it does not group by it).
+func dimensionTokens(lower string) []string {
+	for _, marker := range []string{" by ", " per ", " for each ", " across ", " grouped by "} {
+		i := strings.Index(lower, marker)
+		if i < 0 {
+			continue
+		}
+		rest := lower[i+len(marker):]
+		var toks []string
+		for _, tok := range textutil.ContentTokens(rest) {
+			if isAggWord(tok) {
+				continue
+			}
+			toks = append(toks, tok)
+			if len(toks) == 3 {
+				break
+			}
+		}
+		return toks
+	}
+	return nil
+}
+
+func isAggWord(tok string) bool {
+	switch tok {
+	case "total", "sum", "average", "avg", "mean", "overall", "count",
+		"maximum", "max", "minimum", "min", "median", "number":
+		return true
+	}
+	return false
+}
+
+func firstTemporal(cands []CandidateColumn) *CandidateColumn {
+	for i := range cands {
+		if cands[i].IsTemporal() {
+			return &cands[i]
+		}
+	}
+	return nil
+}
+
+func parseYear(tok string) (int, bool) {
+	if len(tok) != 4 {
+		return 0, false
+	}
+	n, err := strconv.Atoi(tok)
+	if err != nil || n < 1990 || n > 2035 {
+		return 0, false
+	}
+	return n, true
+}
+
+func topN(lower string) int {
+	i := strings.Index(lower, "top ")
+	if i < 0 {
+		return 0
+	}
+	fields := strings.Fields(lower[i+4:])
+	if len(fields) == 0 {
+		return 0
+	}
+	if n, err := strconv.Atoi(fields[0]); err == nil && n > 0 {
+		return n
+	}
+	return 0
+}
+
+func fallbackAgg(agg, def string) string {
+	if agg == "" {
+		return def
+	}
+	return agg
+}
+
+// phraseInTokens reports whether the phrase's tokens appear contiguously
+// in the query's token stream.
+func phraseInTokens(query, phrase []string) bool {
+	if len(phrase) == 0 || len(phrase) > len(query) {
+		return false
+	}
+	for i := 0; i+len(phrase) <= len(query); i++ {
+		match := true
+		for j := range phrase {
+			if query[i+j] != phrase[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if strings.EqualFold(v, x) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,198 @@
+// Package pymini parses the Python subset that appears in BI notebook
+// cells — assignments, function/class definitions, imports, loops,
+// expression statements over pandas-style calls — into a small AST, and
+// analyzes it for the variable definitions and references Algorithm 3's
+// DAG construction needs. It is a static analyzer, not an interpreter:
+// the notebook executes data operations through the table engine.
+package pymini
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokKind classifies tokens.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TokIdent TokKind = iota
+	TokKeyword
+	TokNumber
+	TokString
+	TokOp
+	TokNewline
+	TokIndent
+	TokDedent
+	TokEOF
+)
+
+// Token is one lexical token with position info for error messages.
+type Token struct {
+	Kind TokKind
+	Text string
+	Line int
+}
+
+var pyKeywords = map[string]bool{
+	"def": true, "class": true, "return": true, "if": true, "elif": true,
+	"else": true, "for": true, "while": true, "in": true, "import": true,
+	"from": true, "as": true, "with": true, "lambda": true, "pass": true,
+	"and": true, "or": true, "not": true, "is": true, "None": true,
+	"True": true, "False": true, "break": true, "continue": true,
+	"global": true, "try": true, "except": true, "finally": true,
+	"raise": true, "assert": true, "del": true, "yield": true,
+}
+
+// Lex tokenizes source, producing INDENT/DEDENT tokens from leading
+// whitespace the way Python's tokenizer does (tabs count as 4 spaces).
+// Blank lines and comment-only lines produce no tokens. Lines ending
+// inside brackets continue logically (no NEWLINE).
+func Lex(source string) ([]Token, error) {
+	var toks []Token
+	indentStack := []int{0}
+	depth := 0 // bracket nesting: (), [], {}
+
+	lines := strings.Split(source, "\n")
+	for lineNo, raw := range lines {
+		line := raw
+		// Skip blank/comment-only lines entirely (outside brackets).
+		if depth == 0 {
+			trimmed := strings.TrimSpace(line)
+			if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+				continue
+			}
+			// Indentation handling.
+			indent := 0
+			for _, r := range line {
+				if r == ' ' {
+					indent++
+				} else if r == '\t' {
+					indent += 4
+				} else {
+					break
+				}
+			}
+			top := indentStack[len(indentStack)-1]
+			if indent > top {
+				indentStack = append(indentStack, indent)
+				toks = append(toks, Token{Kind: TokIndent, Line: lineNo + 1})
+			}
+			for indent < indentStack[len(indentStack)-1] {
+				indentStack = indentStack[:len(indentStack)-1]
+				toks = append(toks, Token{Kind: TokDedent, Line: lineNo + 1})
+			}
+			if indent != indentStack[len(indentStack)-1] {
+				return nil, fmt.Errorf("pymini: inconsistent indentation at line %d", lineNo+1)
+			}
+		}
+
+		lineToks, newDepth, err := lexLine(line, lineNo+1, depth)
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, lineToks...)
+		depth = newDepth
+		if depth == 0 && len(lineToks) > 0 {
+			toks = append(toks, Token{Kind: TokNewline, Line: lineNo + 1})
+		}
+	}
+	for len(indentStack) > 1 {
+		indentStack = indentStack[:len(indentStack)-1]
+		toks = append(toks, Token{Kind: TokDedent, Line: len(lines)})
+	}
+	toks = append(toks, Token{Kind: TokEOF, Line: len(lines)})
+	return toks, nil
+}
+
+func lexLine(line string, lineNo, depth int) ([]Token, int, error) {
+	var toks []Token
+	i := 0
+	n := len(line)
+	for i < n {
+		c := line[i]
+		switch {
+		case c == ' ' || c == '\t':
+			i++
+		case c == '#':
+			return toks, depth, nil // comment to end of line
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := i
+			for i < n && (line[i] == '_' || unicode.IsLetter(rune(line[i])) || unicode.IsDigit(rune(line[i]))) {
+				i++
+			}
+			word := line[start:i]
+			kind := TokIdent
+			if pyKeywords[word] {
+				kind = TokKeyword
+			}
+			toks = append(toks, Token{Kind: kind, Text: word, Line: lineNo})
+		case c >= '0' && c <= '9':
+			start := i
+			for i < n && (line[i] >= '0' && line[i] <= '9' || line[i] == '.' || line[i] == 'e' ||
+				line[i] == 'E' || line[i] == '_' || line[i] == 'x' ||
+				line[i] >= 'a' && line[i] <= 'f' || line[i] >= 'A' && line[i] <= 'F') {
+				i++
+			}
+			toks = append(toks, Token{Kind: TokNumber, Text: line[start:i], Line: lineNo})
+		case c == '"' || c == '\'':
+			quote := c
+			triple := i+2 < n && line[i+1] == quote && line[i+2] == quote
+			if triple {
+				// Single-line triple-quoted strings only; multi-line
+				// strings are rare in notebook cells and unsupported.
+				end := strings.Index(line[i+3:], strings.Repeat(string(quote), 3))
+				if end < 0 {
+					return nil, depth, fmt.Errorf("pymini: unterminated triple-quoted string at line %d", lineNo)
+				}
+				toks = append(toks, Token{Kind: TokString, Text: line[i+3 : i+3+end], Line: lineNo})
+				i += 3 + end + 3
+				continue
+			}
+			j := i + 1
+			var sb strings.Builder
+			closed := false
+			for j < n {
+				if line[j] == '\\' && j+1 < n {
+					sb.WriteByte(line[j+1])
+					j += 2
+					continue
+				}
+				if line[j] == quote {
+					closed = true
+					j++
+					break
+				}
+				sb.WriteByte(line[j])
+				j++
+			}
+			if !closed {
+				return nil, depth, fmt.Errorf("pymini: unterminated string at line %d", lineNo)
+			}
+			toks = append(toks, Token{Kind: TokString, Text: sb.String(), Line: lineNo})
+			i = j
+		default:
+			switch c {
+			case '(', '[', '{':
+				depth++
+			case ')', ']', '}':
+				if depth > 0 {
+					depth--
+				}
+			}
+			// Multi-char operators.
+			for _, op := range []string{"**=", "//=", "==", "!=", "<=", ">=", "->", "+=", "-=", "*=", "/=", "//", "**", ":="} {
+				if strings.HasPrefix(line[i:], op) {
+					toks = append(toks, Token{Kind: TokOp, Text: op, Line: lineNo})
+					i += len(op)
+					goto next
+				}
+			}
+			toks = append(toks, Token{Kind: TokOp, Text: string(c), Line: lineNo})
+			i++
+		next:
+		}
+	}
+	return toks, depth, nil
+}

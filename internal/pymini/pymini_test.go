@@ -1,0 +1,272 @@
+package pymini
+
+import (
+	"reflect"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *Module {
+	t.Helper()
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse error: %v\nsource:\n%s", err, src)
+	}
+	return m
+}
+
+func TestGlobalDefsAssignments(t *testing.T) {
+	m := mustParse(t, `
+x = 1
+y, z = 2, 3
+df = load()
+df2 = df.dropna()
+`)
+	got := GlobalDefs(m)
+	want := []string{"x", "y", "z", "df", "df2"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("defs = %v, want %v", got, want)
+	}
+}
+
+func TestGlobalDefsFunctionsAndImports(t *testing.T) {
+	m := mustParse(t, `
+import pandas as pd
+from sklearn.linear_model import LinearRegression
+import numpy
+
+def clean(df):
+    tmp = df.dropna()
+    return tmp
+
+class Helper:
+    def method(self):
+        inner = 1
+`)
+	got := GlobalDefs(m)
+	want := []string{"pd", "LinearRegression", "numpy", "clean", "Helper"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("defs = %v, want %v", got, want)
+	}
+}
+
+func TestLocalVariablesExcluded(t *testing.T) {
+	m := mustParse(t, `
+def process(data):
+    local_var = data * 2
+    return local_var
+`)
+	defs := GlobalDefs(m)
+	for _, d := range defs {
+		if d == "local_var" || d == "data" {
+			t.Errorf("local name %q leaked into globals", d)
+		}
+	}
+}
+
+func TestExternalRefsBasic(t *testing.T) {
+	m := mustParse(t, `
+result = df.groupby("region").sum()
+chart_input = result.reset_index()
+`)
+	got := ExternalRefs(m)
+	want := []string{"df"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("external refs = %v, want %v", got, want)
+	}
+}
+
+func TestExternalRefsSelfRedefinition(t *testing.T) {
+	// df = df.dropna(): df is read before (re)definition -> external.
+	m := mustParse(t, `df = df.dropna()`)
+	got := ExternalRefs(m)
+	if !reflect.DeepEqual(got, []string{"df"}) {
+		t.Errorf("refs = %v, want [df]", got)
+	}
+}
+
+func TestExternalRefsSkipBuiltinsAndImports(t *testing.T) {
+	m := mustParse(t, `
+import pandas as pd
+data = pd.DataFrame()
+print(len(data))
+total = sum(external_list)
+`)
+	got := ExternalRefs(m)
+	want := []string{"external_list"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("refs = %v, want %v", got, want)
+	}
+}
+
+func TestExternalRefsAttributeNamesIgnored(t *testing.T) {
+	// .sum/.groupby are attributes, not namespace references.
+	m := mustParse(t, `out = frame.groupby(keys).agg(total=("v", "sum"))`)
+	got := ExternalRefs(m)
+	want := []string{"frame", "keys"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("refs = %v, want %v", got, want)
+	}
+}
+
+func TestExternalRefsSubscriptStore(t *testing.T) {
+	// df["new"] = other["col"] mutates df (needs it) and reads other.
+	m := mustParse(t, `df["new"] = other["col"] * 2`)
+	got := ExternalRefs(m)
+	want := []string{"other", "df"}
+	// Order may vary by traversal; compare as sets.
+	gotSet := map[string]bool{}
+	for _, g := range got {
+		gotSet[g] = true
+	}
+	for _, w := range want {
+		if !gotSet[w] {
+			t.Errorf("missing ref %q in %v", w, got)
+		}
+	}
+}
+
+func TestExternalRefsInFunctionBody(t *testing.T) {
+	// Free variables in function bodies reference the outer namespace.
+	m := mustParse(t, `
+def report():
+    return base_table.describe()
+`)
+	got := ExternalRefs(m)
+	if !reflect.DeepEqual(got, []string{"base_table"}) {
+		t.Errorf("refs = %v, want [base_table]", got)
+	}
+}
+
+func TestExternalRefsParamsNotExternal(t *testing.T) {
+	m := mustParse(t, `
+def scale(df, factor=2):
+    return df * factor
+`)
+	if got := ExternalRefs(m); len(got) != 0 {
+		t.Errorf("params leaked as external: %v", got)
+	}
+}
+
+func TestForLoopAndConditionals(t *testing.T) {
+	m := mustParse(t, `
+for row in source_rows:
+    acc = acc_init + row
+if threshold > limit:
+    flag = True
+else:
+    flag = False
+`)
+	defs := GlobalDefs(m)
+	wantDefs := map[string]bool{"row": true, "acc": true, "flag": true}
+	for w := range wantDefs {
+		found := false
+		for _, d := range defs {
+			if d == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing def %q in %v", w, defs)
+		}
+	}
+	refs := ExternalRefs(m)
+	refSet := map[string]bool{}
+	for _, r := range refs {
+		refSet[r] = true
+	}
+	for _, w := range []string{"source_rows", "acc_init", "threshold", "limit"} {
+		if !refSet[w] {
+			t.Errorf("missing external ref %q in %v", w, refs)
+		}
+	}
+}
+
+func TestAugmentedAssignment(t *testing.T) {
+	m := mustParse(t, `counter += delta`)
+	refs := ExternalRefs(m)
+	refSet := map[string]bool{}
+	for _, r := range refs {
+		refSet[r] = true
+	}
+	if !refSet["counter"] || !refSet["delta"] {
+		t.Errorf("augmented assignment refs = %v", refs)
+	}
+}
+
+func TestMultilineCallContinuation(t *testing.T) {
+	m := mustParse(t, `
+summary = df.agg(
+    total=("amount", "sum"),
+    avg=("amount", "mean"),
+)
+`)
+	defs := GlobalDefs(m)
+	if !reflect.DeepEqual(defs, []string{"summary"}) {
+		t.Errorf("defs = %v", defs)
+	}
+	refs := ExternalRefs(m)
+	if !reflect.DeepEqual(refs, []string{"df"}) {
+		t.Errorf("refs = %v", refs)
+	}
+}
+
+func TestStringsAndCommentsIgnored(t *testing.T) {
+	m := mustParse(t, `
+# comment mentioning ghost_var
+label = "not a ref: phantom"
+`)
+	refs := ExternalRefs(m)
+	if len(refs) != 0 {
+		t.Errorf("refs from strings/comments: %v", refs)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"x = 'unterminated",
+		"def :",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("expected parse error for %q", src)
+		}
+	}
+}
+
+func TestLexIndentation(t *testing.T) {
+	toks, err := Lex("if a:\n    b = 1\nc = 2\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []TokKind
+	for _, tk := range toks {
+		kinds = append(kinds, tk.Kind)
+	}
+	hasIndent, hasDedent := false, false
+	for _, k := range kinds {
+		if k == TokIndent {
+			hasIndent = true
+		}
+		if k == TokDedent {
+			hasDedent = true
+		}
+	}
+	if !hasIndent || !hasDedent {
+		t.Errorf("indentation tokens missing: %v", kinds)
+	}
+}
+
+func TestKeywordArgumentsNotRefs(t *testing.T) {
+	m := mustParse(t, `fig = plot(data, color="red", size=scale_factor)`)
+	refs := ExternalRefs(m)
+	refSet := map[string]bool{}
+	for _, r := range refs {
+		refSet[r] = true
+	}
+	if refSet["color"] || refSet["size"] {
+		t.Errorf("keyword arg names counted as refs: %v", refs)
+	}
+	if !refSet["data"] || !refSet["scale_factor"] || !refSet["plot"] {
+		t.Errorf("missing real refs: %v", refs)
+	}
+}

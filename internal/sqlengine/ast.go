@@ -1,0 +1,282 @@
+package sqlengine
+
+import (
+	"fmt"
+	"strings"
+
+	"datalab/internal/table"
+)
+
+// Expr is a SQL expression node.
+type Expr interface {
+	// SQL renders the expression back to SQL text.
+	SQL() string
+}
+
+// ColumnRef references a column, optionally qualified by table or alias.
+type ColumnRef struct {
+	Table string // may be empty
+	Name  string
+}
+
+// SQL implements Expr.
+func (c *ColumnRef) SQL() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Name
+	}
+	return c.Name
+}
+
+// Star is the bare `*` select item.
+type Star struct{}
+
+// SQL implements Expr.
+func (Star) SQL() string { return "*" }
+
+// Literal is a constant value.
+type Literal struct {
+	Value table.Value
+}
+
+// SQL implements Expr.
+func (l *Literal) SQL() string {
+	switch l.Value.Kind {
+	case table.KindString:
+		return "'" + strings.ReplaceAll(l.Value.S, "'", "''") + "'"
+	case table.KindNull:
+		return "NULL"
+	default:
+		return l.Value.AsString()
+	}
+}
+
+// Binary is a binary operation: arithmetic, comparison, AND/OR, LIKE.
+type Binary struct {
+	Op   string // "=", "<>", "<", "<=", ">", ">=", "+", "-", "*", "/", "%", "AND", "OR", "LIKE", "||"
+	L, R Expr
+}
+
+// SQL implements Expr.
+func (b *Binary) SQL() string {
+	return fmt.Sprintf("(%s %s %s)", b.L.SQL(), b.Op, b.R.SQL())
+}
+
+// Unary is NOT or arithmetic negation.
+type Unary struct {
+	Op string // "NOT", "-"
+	X  Expr
+}
+
+// SQL implements Expr.
+func (u *Unary) SQL() string {
+	if u.Op == "NOT" {
+		return "(NOT " + u.X.SQL() + ")"
+	}
+	return "(" + u.Op + u.X.SQL() + ")"
+}
+
+// FuncCall is a function application; aggregates are recognized by name.
+type FuncCall struct {
+	Name     string // uppercased
+	Args     []Expr
+	Distinct bool // COUNT(DISTINCT x)
+	IsStar   bool // COUNT(*)
+}
+
+// SQL implements Expr.
+func (f *FuncCall) SQL() string {
+	if f.IsStar {
+		return f.Name + "(*)"
+	}
+	args := make([]string, len(f.Args))
+	for i, a := range f.Args {
+		args[i] = a.SQL()
+	}
+	d := ""
+	if f.Distinct {
+		d = "DISTINCT "
+	}
+	return fmt.Sprintf("%s(%s%s)", f.Name, d, strings.Join(args, ", "))
+}
+
+// In is `x [NOT] IN (v1, v2, ...)`.
+type In struct {
+	X      Expr
+	Values []Expr
+	Not    bool
+}
+
+// SQL implements Expr.
+func (in *In) SQL() string {
+	vals := make([]string, len(in.Values))
+	for i, v := range in.Values {
+		vals[i] = v.SQL()
+	}
+	op := "IN"
+	if in.Not {
+		op = "NOT IN"
+	}
+	return fmt.Sprintf("(%s %s (%s))", in.X.SQL(), op, strings.Join(vals, ", "))
+}
+
+// Between is `x [NOT] BETWEEN lo AND hi`.
+type Between struct {
+	X, Lo, Hi Expr
+	Not       bool
+}
+
+// SQL implements Expr.
+func (b *Between) SQL() string {
+	op := "BETWEEN"
+	if b.Not {
+		op = "NOT BETWEEN"
+	}
+	return fmt.Sprintf("(%s %s %s AND %s)", b.X.SQL(), op, b.Lo.SQL(), b.Hi.SQL())
+}
+
+// IsNull is `x IS [NOT] NULL`.
+type IsNull struct {
+	X   Expr
+	Not bool
+}
+
+// SQL implements Expr.
+func (n *IsNull) SQL() string {
+	if n.Not {
+		return "(" + n.X.SQL() + " IS NOT NULL)"
+	}
+	return "(" + n.X.SQL() + " IS NULL)"
+}
+
+// CaseExpr is a searched CASE expression.
+type CaseExpr struct {
+	Whens []WhenClause
+	Else  Expr // may be nil
+}
+
+// WhenClause is one WHEN cond THEN result arm.
+type WhenClause struct {
+	Cond, Result Expr
+}
+
+// SQL implements Expr.
+func (c *CaseExpr) SQL() string {
+	var sb strings.Builder
+	sb.WriteString("CASE")
+	for _, w := range c.Whens {
+		fmt.Fprintf(&sb, " WHEN %s THEN %s", w.Cond.SQL(), w.Result.SQL())
+	}
+	if c.Else != nil {
+		sb.WriteString(" ELSE " + c.Else.SQL())
+	}
+	sb.WriteString(" END")
+	return sb.String()
+}
+
+// SelectItem is one output column of a SELECT.
+type SelectItem struct {
+	Expr  Expr
+	Alias string // optional AS alias
+}
+
+// OutputName returns the column name of the item in the result.
+func (s SelectItem) OutputName() string {
+	if s.Alias != "" {
+		return s.Alias
+	}
+	if c, ok := s.Expr.(*ColumnRef); ok {
+		return c.Name
+	}
+	return s.Expr.SQL()
+}
+
+// JoinClause is one JOIN ... ON step in the FROM clause.
+type JoinClause struct {
+	Kind  table.JoinKind
+	Table string
+	Alias string
+	On    Expr // equality predicate; evaluated per joined row pair
+}
+
+// SelectStmt is a parsed SELECT statement.
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	From     string
+	FromAs   string
+	Joins    []JoinClause
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    int // -1 when absent
+	Offset   int
+}
+
+// OrderItem is one ORDER BY criterion.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// SQL renders the statement back to canonical SQL text.
+func (s *SelectStmt) SQL() string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	if s.Distinct {
+		sb.WriteString("DISTINCT ")
+	}
+	items := make([]string, len(s.Items))
+	for i, it := range s.Items {
+		items[i] = it.Expr.SQL()
+		if it.Alias != "" {
+			items[i] += " AS " + it.Alias
+		}
+	}
+	sb.WriteString(strings.Join(items, ", "))
+	sb.WriteString(" FROM " + s.From)
+	if s.FromAs != "" {
+		sb.WriteString(" AS " + s.FromAs)
+	}
+	for _, j := range s.Joins {
+		kw := "JOIN"
+		if j.Kind == table.JoinLeft {
+			kw = "LEFT JOIN"
+		}
+		sb.WriteString(" " + kw + " " + j.Table)
+		if j.Alias != "" {
+			sb.WriteString(" AS " + j.Alias)
+		}
+		sb.WriteString(" ON " + j.On.SQL())
+	}
+	if s.Where != nil {
+		sb.WriteString(" WHERE " + s.Where.SQL())
+	}
+	if len(s.GroupBy) > 0 {
+		parts := make([]string, len(s.GroupBy))
+		for i, g := range s.GroupBy {
+			parts[i] = g.SQL()
+		}
+		sb.WriteString(" GROUP BY " + strings.Join(parts, ", "))
+	}
+	if s.Having != nil {
+		sb.WriteString(" HAVING " + s.Having.SQL())
+	}
+	if len(s.OrderBy) > 0 {
+		parts := make([]string, len(s.OrderBy))
+		for i, o := range s.OrderBy {
+			parts[i] = o.Expr.SQL()
+			if o.Desc {
+				parts[i] += " DESC"
+			}
+		}
+		sb.WriteString(" ORDER BY " + strings.Join(parts, ", "))
+	}
+	if s.Limit >= 0 {
+		fmt.Fprintf(&sb, " LIMIT %d", s.Limit)
+	}
+	if s.Offset > 0 {
+		fmt.Fprintf(&sb, " OFFSET %d", s.Offset)
+	}
+	return sb.String()
+}

@@ -1,0 +1,581 @@
+package sqlengine
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"datalab/internal/table"
+)
+
+// Catalog is a named collection of tables — the engine's database.
+type Catalog struct {
+	tables map[string]*table.Table
+	order  []string
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{tables: map[string]*table.Table{}}
+}
+
+// Register adds (or replaces) a table under its own name.
+func (c *Catalog) Register(t *table.Table) {
+	key := strings.ToLower(t.Name)
+	if _, exists := c.tables[key]; !exists {
+		c.order = append(c.order, key)
+	}
+	c.tables[key] = t
+}
+
+// Table looks up a table case-insensitively, also accepting a trailing
+// "db." qualifier.
+func (c *Catalog) Table(name string) (*table.Table, bool) {
+	key := strings.ToLower(name)
+	if t, ok := c.tables[key]; ok {
+		return t, true
+	}
+	if i := strings.LastIndexByte(key, '.'); i >= 0 {
+		if t, ok := c.tables[key[i+1:]]; ok {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+// TableNames returns registered table names in registration order.
+func (c *Catalog) TableNames() []string {
+	names := make([]string, 0, len(c.order))
+	for _, k := range c.order {
+		names = append(names, c.tables[k].Name)
+	}
+	return names
+}
+
+// Query parses and executes a SELECT against the catalog.
+func (c *Catalog) Query(sql string) (*table.Table, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return c.Execute(stmt)
+}
+
+// relation is the executor's working representation: qualified columns
+// plus row-major values.
+type relation struct {
+	quals []string // lowercased table alias/name per column
+	names []string // lowercased column name per column
+	disp  []string // display name per column (original case)
+	kinds []table.Kind
+	rows  [][]table.Value
+}
+
+func relationFrom(t *table.Table, qual string) *relation {
+	r := &relation{}
+	q := strings.ToLower(qual)
+	for _, col := range t.Columns {
+		r.quals = append(r.quals, q)
+		r.names = append(r.names, strings.ToLower(col.Name))
+		r.disp = append(r.disp, col.Name)
+		r.kinds = append(r.kinds, col.Kind)
+	}
+	n := t.NumRows()
+	r.rows = make([][]table.Value, n)
+	for i := 0; i < n; i++ {
+		r.rows[i] = t.Row(i)
+	}
+	return r
+}
+
+// findColumn resolves a reference to a column index; -1 when absent.
+// Ambiguous unqualified references resolve to the first match, matching
+// the lenient behaviour benchmark queries rely on.
+func (r *relation) findColumn(ref *ColumnRef) int {
+	name := strings.ToLower(ref.Name)
+	qual := strings.ToLower(ref.Table)
+	for i := range r.names {
+		if r.names[i] != name {
+			continue
+		}
+		if qual == "" || r.quals[i] == qual {
+			return i
+		}
+	}
+	return -1
+}
+
+// rowEnv evaluates expressions against one relation row.
+type rowEnv struct {
+	rel *relation
+	row []table.Value
+}
+
+func (e *rowEnv) resolveColumn(ref *ColumnRef) (table.Value, error) {
+	i := e.rel.findColumn(ref)
+	if i < 0 {
+		return table.Null(), fmt.Errorf("sql: unknown column %q", ref.SQL())
+	}
+	return e.row[i], nil
+}
+
+func (e *rowEnv) resolveAggregate(fn *FuncCall) (table.Value, error) {
+	return table.Null(), fmt.Errorf("sql: aggregate %s in row context (missing GROUP BY?)", fn.Name)
+}
+
+// groupEnv evaluates expressions against one group: plain columns resolve
+// from the group's first row, aggregates compute over all group rows.
+type groupEnv struct {
+	rel  *relation
+	rows []int // indexes into rel.rows
+}
+
+func (e *groupEnv) resolveColumn(ref *ColumnRef) (table.Value, error) {
+	i := e.rel.findColumn(ref)
+	if i < 0 {
+		return table.Null(), fmt.Errorf("sql: unknown column %q", ref.SQL())
+	}
+	if len(e.rows) == 0 {
+		return table.Null(), nil
+	}
+	return e.rel.rows[e.rows[0]][i], nil
+}
+
+func (e *groupEnv) resolveAggregate(fn *FuncCall) (table.Value, error) {
+	if fn.IsStar {
+		if fn.Name != "COUNT" {
+			return table.Null(), fmt.Errorf("sql: %s(*) is not supported", fn.Name)
+		}
+		return table.Int(int64(len(e.rows))), nil
+	}
+	if len(fn.Args) != 1 {
+		return table.Null(), fmt.Errorf("sql: aggregate %s expects one argument", fn.Name)
+	}
+	var vals []table.Value
+	seen := map[string]bool{}
+	for _, ri := range e.rows {
+		re := &rowEnv{rel: e.rel, row: e.rel.rows[ri]}
+		v, err := evalExpr(fn.Args[0], re)
+		if err != nil {
+			return table.Null(), err
+		}
+		if v.IsNull() {
+			continue
+		}
+		if fn.Distinct {
+			k := v.Key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+		}
+		vals = append(vals, v)
+	}
+	switch fn.Name {
+	case "COUNT":
+		return table.Int(int64(len(vals))), nil
+	case "SUM", "AVG", "STDDEV", "MEDIAN":
+		var nums []float64
+		for _, v := range vals {
+			if f, ok := v.AsFloat(); ok {
+				nums = append(nums, f)
+			}
+		}
+		if len(nums) == 0 {
+			return table.Null(), nil
+		}
+		var total float64
+		for _, f := range nums {
+			total += f
+		}
+		switch fn.Name {
+		case "SUM":
+			return table.Float(total), nil
+		case "AVG":
+			return table.Float(total / float64(len(nums))), nil
+		case "STDDEV":
+			mean := total / float64(len(nums))
+			if len(nums) < 2 {
+				return table.Float(0), nil
+			}
+			var ss float64
+			for _, f := range nums {
+				d := f - mean
+				ss += d * d
+			}
+			return table.Float(math.Sqrt(ss / float64(len(nums)-1))), nil
+		case "MEDIAN":
+			sort.Float64s(nums)
+			n := len(nums)
+			if n%2 == 1 {
+				return table.Float(nums[n/2]), nil
+			}
+			return table.Float((nums[n/2-1] + nums[n/2]) / 2), nil
+		}
+	case "MIN", "MAX":
+		if len(vals) == 0 {
+			return table.Null(), nil
+		}
+		best := vals[0]
+		for _, v := range vals[1:] {
+			c := table.Compare(v, best)
+			if (fn.Name == "MIN" && c < 0) || (fn.Name == "MAX" && c > 0) {
+				best = v
+			}
+		}
+		return best, nil
+	}
+	return table.Null(), fmt.Errorf("sql: unknown aggregate %s", fn.Name)
+}
+
+// Execute runs a parsed statement against the catalog.
+func (c *Catalog) Execute(stmt *SelectStmt) (*table.Table, error) {
+	base, ok := c.Table(stmt.From)
+	if !ok {
+		return nil, fmt.Errorf("sql: unknown table %q", stmt.From)
+	}
+	qual := stmt.From
+	if stmt.FromAs != "" {
+		qual = stmt.FromAs
+	}
+	rel := relationFrom(base, qual)
+
+	for _, j := range stmt.Joins {
+		rt, ok := c.Table(j.Table)
+		if !ok {
+			return nil, fmt.Errorf("sql: unknown table %q", j.Table)
+		}
+		jq := j.Table
+		if j.Alias != "" {
+			jq = j.Alias
+		}
+		var err error
+		rel, err = joinRelations(rel, relationFrom(rt, jq), j)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if stmt.Where != nil {
+		var kept [][]table.Value
+		for _, row := range rel.rows {
+			v, err := evalExpr(stmt.Where, &rowEnv{rel: rel, row: row})
+			if err != nil {
+				return nil, err
+			}
+			if b, ok := v.AsBool(); ok && b {
+				kept = append(kept, row)
+			}
+		}
+		rel.rows = kept
+	}
+
+	grouped := len(stmt.GroupBy) > 0 || stmt.Having != nil || selectHasAggregate(stmt)
+	var out *table.Table
+	var err error
+	if grouped {
+		out, err = c.executeGrouped(stmt, rel)
+	} else {
+		out, err = c.executePlain(stmt, rel)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if stmt.Distinct {
+		out = out.Distinct()
+	}
+	if stmt.Offset > 0 {
+		out = out.Slice(stmt.Offset, out.NumRows())
+	}
+	if stmt.Limit >= 0 {
+		out = out.Limit(stmt.Limit)
+	}
+	return out, nil
+}
+
+func selectHasAggregate(stmt *SelectStmt) bool {
+	for _, it := range stmt.Items {
+		if exprHasAggregate(it.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+func exprHasAggregate(e Expr) bool {
+	switch x := e.(type) {
+	case *FuncCall:
+		if isAgg2(x.Name) {
+			return true
+		}
+		for _, a := range x.Args {
+			if exprHasAggregate(a) {
+				return true
+			}
+		}
+	case *Binary:
+		return exprHasAggregate(x.L) || exprHasAggregate(x.R)
+	case *Unary:
+		return exprHasAggregate(x.X)
+	case *In:
+		if exprHasAggregate(x.X) {
+			return true
+		}
+		for _, v := range x.Values {
+			if exprHasAggregate(v) {
+				return true
+			}
+		}
+	case *Between:
+		return exprHasAggregate(x.X) || exprHasAggregate(x.Lo) || exprHasAggregate(x.Hi)
+	case *IsNull:
+		return exprHasAggregate(x.X)
+	case *CaseExpr:
+		for _, w := range x.Whens {
+			if exprHasAggregate(w.Cond) || exprHasAggregate(w.Result) {
+				return true
+			}
+		}
+		if x.Else != nil {
+			return exprHasAggregate(x.Else)
+		}
+	}
+	return false
+}
+
+// joinRelations nested-loop joins left and right with the ON predicate.
+func joinRelations(left, right *relation, j JoinClause) (*relation, error) {
+	out := &relation{
+		quals: append(append([]string{}, left.quals...), right.quals...),
+		names: append(append([]string{}, left.names...), right.names...),
+		disp:  append(append([]string{}, left.disp...), right.disp...),
+		kinds: append(append([]table.Kind{}, left.kinds...), right.kinds...),
+	}
+	nullsRight := make([]table.Value, len(right.names))
+	for _, lrow := range left.rows {
+		matched := false
+		for _, rrow := range right.rows {
+			combined := append(append([]table.Value{}, lrow...), rrow...)
+			v, err := evalExpr(j.On, &rowEnv{rel: out, row: combined})
+			if err != nil {
+				return nil, err
+			}
+			if b, ok := v.AsBool(); ok && b {
+				matched = true
+				out.rows = append(out.rows, combined)
+			}
+		}
+		if !matched && j.Kind == table.JoinLeft {
+			out.rows = append(out.rows, append(append([]table.Value{}, lrow...), nullsRight...))
+		}
+	}
+	return out, nil
+}
+
+// projection expands select items (including * and t.*) to concrete exprs.
+func expandItems(stmt *SelectStmt, rel *relation) []SelectItem {
+	var items []SelectItem
+	for _, it := range stmt.Items {
+		switch x := it.Expr.(type) {
+		case Star:
+			for i := range rel.names {
+				items = append(items, SelectItem{
+					Expr:  &ColumnRef{Table: rel.quals[i], Name: rel.disp[i]},
+					Alias: rel.disp[i],
+				})
+			}
+		case *ColumnRef:
+			if x.Name == "*" {
+				for i := range rel.names {
+					if rel.quals[i] == strings.ToLower(x.Table) {
+						items = append(items, SelectItem{
+							Expr:  &ColumnRef{Table: rel.quals[i], Name: rel.disp[i]},
+							Alias: rel.disp[i],
+						})
+					}
+				}
+				continue
+			}
+			items = append(items, it)
+		default:
+			items = append(items, it)
+		}
+	}
+	return items
+}
+
+// orderExprs resolves ORDER BY items to evaluable expressions, honoring
+// select-list aliases and 1-based positions.
+func orderExprs(stmt *SelectStmt, items []SelectItem) []OrderItem {
+	resolved := make([]OrderItem, len(stmt.OrderBy))
+	for i, o := range stmt.OrderBy {
+		resolved[i] = o
+		if lit, ok := o.Expr.(*Literal); ok && lit.Value.Kind == table.KindInt {
+			pos := int(lit.Value.I)
+			if pos >= 1 && pos <= len(items) {
+				resolved[i].Expr = items[pos-1].Expr
+			}
+			continue
+		}
+		if ref, ok := o.Expr.(*ColumnRef); ok && ref.Table == "" {
+			for _, it := range items {
+				if strings.EqualFold(it.OutputName(), ref.Name) {
+					resolved[i].Expr = it.Expr
+					break
+				}
+			}
+		}
+	}
+	return resolved
+}
+
+type projectedRow struct {
+	out  []table.Value
+	keys []table.Value // order-by keys
+}
+
+func buildOutput(name string, items []SelectItem, rows []projectedRow, order []OrderItem) *table.Table {
+	if len(order) > 0 {
+		sort.SliceStable(rows, func(a, b int) bool {
+			for k := range order {
+				c := table.Compare(rows[a].keys[k], rows[b].keys[k])
+				if c == 0 {
+					continue
+				}
+				if order[k].Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+	}
+	names := make([]string, len(items))
+	used := map[string]int{}
+	for i, it := range items {
+		n := it.OutputName()
+		key := strings.ToLower(n)
+		if c, dup := used[key]; dup {
+			used[key] = c + 1
+			n = fmt.Sprintf("%s_%d", n, c+1)
+		} else {
+			used[key] = 0
+		}
+		names[i] = n
+	}
+	kinds := make([]table.Kind, len(items))
+	for i := range kinds {
+		kinds[i] = table.KindString
+		for _, r := range rows {
+			if !r.out[i].IsNull() {
+				kinds[i] = r.out[i].Kind
+				break
+			}
+		}
+	}
+	out := &table.Table{Name: name}
+	for i := range items {
+		out.Columns = append(out.Columns, table.Column{Name: names[i], Kind: kinds[i]})
+	}
+	for _, r := range rows {
+		for j := range out.Columns {
+			out.Columns[j].Values = append(out.Columns[j].Values, r.out[j])
+		}
+	}
+	return out
+}
+
+func (c *Catalog) executePlain(stmt *SelectStmt, rel *relation) (*table.Table, error) {
+	items := expandItems(stmt, rel)
+	order := orderExprs(stmt, items)
+	rows := make([]projectedRow, 0, len(rel.rows))
+	for _, row := range rel.rows {
+		ev := &rowEnv{rel: rel, row: row}
+		pr := projectedRow{out: make([]table.Value, len(items)), keys: make([]table.Value, len(order))}
+		for i, it := range items {
+			v, err := evalExpr(it.Expr, ev)
+			if err != nil {
+				return nil, err
+			}
+			pr.out[i] = v
+		}
+		for i, o := range order {
+			v, err := evalExpr(o.Expr, ev)
+			if err != nil {
+				return nil, err
+			}
+			pr.keys[i] = v
+		}
+		rows = append(rows, pr)
+	}
+	return buildOutput(stmt.From, items, rows, order), nil
+}
+
+func (c *Catalog) executeGrouped(stmt *SelectStmt, rel *relation) (*table.Table, error) {
+	items := expandItems(stmt, rel)
+	order := orderExprs(stmt, items)
+
+	// Partition rows into groups by the GROUP BY key expressions.
+	type grp struct{ rows []int }
+	var keys []string
+	groups := map[string]*grp{}
+	for ri, row := range rel.rows {
+		ev := &rowEnv{rel: rel, row: row}
+		var kb strings.Builder
+		for _, g := range stmt.GroupBy {
+			v, err := evalExpr(g, ev)
+			if err != nil {
+				return nil, err
+			}
+			kb.WriteString(v.Key())
+			kb.WriteByte('\x1f')
+		}
+		k := kb.String()
+		g, ok := groups[k]
+		if !ok {
+			g = &grp{}
+			groups[k] = g
+			keys = append(keys, k)
+		}
+		g.rows = append(g.rows, ri)
+	}
+	// Global aggregates over zero rows still produce one group.
+	if len(stmt.GroupBy) == 0 && len(keys) == 0 {
+		groups[""] = &grp{}
+		keys = append(keys, "")
+	}
+
+	rows := make([]projectedRow, 0, len(keys))
+	for _, k := range keys {
+		g := groups[k]
+		ev := &groupEnv{rel: rel, rows: g.rows}
+		if stmt.Having != nil {
+			hv, err := evalExpr(stmt.Having, ev)
+			if err != nil {
+				return nil, err
+			}
+			if b, ok := hv.AsBool(); !ok || !b {
+				continue
+			}
+		}
+		pr := projectedRow{out: make([]table.Value, len(items)), keys: make([]table.Value, len(order))}
+		for i, it := range items {
+			v, err := evalExpr(it.Expr, ev)
+			if err != nil {
+				return nil, err
+			}
+			pr.out[i] = v
+		}
+		for i, o := range order {
+			v, err := evalExpr(o.Expr, ev)
+			if err != nil {
+				return nil, err
+			}
+			pr.keys[i] = v
+		}
+		rows = append(rows, pr)
+	}
+	return buildOutput(stmt.From, items, rows, order), nil
+}

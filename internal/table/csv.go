@@ -1,0 +1,95 @@
+package table
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ReadCSV parses CSV data with a header row into a table, inferring column
+// kinds from the first non-empty cell of each column and coercing the rest.
+func ReadCSV(name string, r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("csv %s: %w", name, err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("csv %s: missing header row", name)
+	}
+	header := records[0]
+	rows := records[1:]
+
+	// Infer each column's kind from all rows, promoting along
+	// Int -> Float -> String when cells disagree (Time/Bool demote to
+	// String on any mismatch).
+	kinds := make([]Kind, len(header))
+	for c := range header {
+		kind := KindNull
+		for _, row := range rows {
+			if c >= len(row) || strings.TrimSpace(row[c]) == "" {
+				continue
+			}
+			kind = promote(kind, Infer(row[c]).Kind)
+			if kind == KindString {
+				break
+			}
+		}
+		if kind == KindNull {
+			kind = KindString
+		}
+		kinds[c] = kind
+	}
+	t, err := New(name, header, kinds)
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		vals := make([]Value, len(header))
+		for c := range header {
+			if c < len(row) {
+				vals[c] = Infer(row[c])
+			}
+		}
+		if err := t.AppendRow(vals...); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// promote unifies two observed cell kinds into the narrowest column kind
+// that can represent both.
+func promote(a, b Kind) Kind {
+	if a == KindNull {
+		return b
+	}
+	if b == KindNull || a == b {
+		return a
+	}
+	if (a == KindInt && b == KindFloat) || (a == KindFloat && b == KindInt) {
+		return KindFloat
+	}
+	return KindString
+}
+
+// WriteCSV renders the table as CSV with a header row.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.ColumnNames()); err != nil {
+		return err
+	}
+	for i, n := 0, t.NumRows(); i < n; i++ {
+		rec := make([]string, len(t.Columns))
+		for j := range t.Columns {
+			rec[j] = t.Columns[j].Values[i].AsString()
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,272 @@
+package table
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// AggFunc enumerates the aggregate functions the engine supports.
+type AggFunc uint8
+
+const (
+	AggCount AggFunc = iota
+	AggCountDistinct
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+	AggStdDev
+	AggMedian
+	AggFirst
+)
+
+// String returns the SQL name of the aggregate.
+func (a AggFunc) String() string {
+	switch a {
+	case AggCount:
+		return "COUNT"
+	case AggCountDistinct:
+		return "COUNT_DISTINCT"
+	case AggSum:
+		return "SUM"
+	case AggAvg:
+		return "AVG"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	case AggStdDev:
+		return "STDDEV"
+	case AggMedian:
+		return "MEDIAN"
+	case AggFirst:
+		return "FIRST"
+	default:
+		return fmt.Sprintf("AggFunc(%d)", uint8(a))
+	}
+}
+
+// ParseAggFunc maps a SQL function name to an AggFunc.
+func ParseAggFunc(name string) (AggFunc, bool) {
+	switch strings.ToUpper(name) {
+	case "COUNT":
+		return AggCount, true
+	case "SUM":
+		return AggSum, true
+	case "AVG", "MEAN":
+		return AggAvg, true
+	case "MIN":
+		return AggMin, true
+	case "MAX":
+		return AggMax, true
+	case "STDDEV", "STD":
+		return AggStdDev, true
+	case "MEDIAN":
+		return AggMedian, true
+	default:
+		return 0, false
+	}
+}
+
+// Aggregation describes one output aggregate column. Column "*" with
+// AggCount counts rows.
+type Aggregation struct {
+	Func   AggFunc
+	Column string // source column; "*" allowed for COUNT
+	As     string // output name; defaults to FUNC(col)
+}
+
+func (a Aggregation) outName() string {
+	if a.As != "" {
+		return a.As
+	}
+	return fmt.Sprintf("%s(%s)", a.Func, a.Column)
+}
+
+// GroupBy groups by the named key columns and computes the aggregations.
+// With no keys the whole table is a single group (global aggregate).
+// Group order follows first appearance, keeping results deterministic.
+func (t *Table) GroupBy(keys []string, aggs []Aggregation) (*Table, error) {
+	keyIdx := make([]int, len(keys))
+	for i, k := range keys {
+		ci := t.ColumnIndex(k)
+		if ci < 0 {
+			return nil, fmt.Errorf("table %s: group by unknown column %q", t.Name, k)
+		}
+		keyIdx[i] = ci
+	}
+	aggIdx := make([]int, len(aggs))
+	for i, a := range aggs {
+		if a.Column == "*" {
+			if a.Func != AggCount {
+				return nil, fmt.Errorf("table %s: %s(*) is not supported", t.Name, a.Func)
+			}
+			aggIdx[i] = -1
+			continue
+		}
+		ci := t.ColumnIndex(a.Column)
+		if ci < 0 {
+			return nil, fmt.Errorf("table %s: aggregate over unknown column %q", t.Name, a.Column)
+		}
+		aggIdx[i] = ci
+	}
+
+	type group struct {
+		firstRow int
+		rows     []int
+	}
+	order := []string{}
+	groups := map[string]*group{}
+	n := t.NumRows()
+	for r := 0; r < n; r++ {
+		var kb strings.Builder
+		for _, ci := range keyIdx {
+			kb.WriteString(t.Columns[ci].Values[r].Key())
+			kb.WriteByte('\x1f')
+		}
+		k := kb.String()
+		g, ok := groups[k]
+		if !ok {
+			g = &group{firstRow: r}
+			groups[k] = g
+			order = append(order, k)
+		}
+		g.rows = append(g.rows, r)
+	}
+	// A global aggregate over an empty table still yields one row.
+	if len(keys) == 0 && len(order) == 0 {
+		groups[""] = &group{firstRow: -1}
+		order = append(order, "")
+	}
+
+	// Build output schema: keys first, then aggregates.
+	out := &Table{Name: t.Name}
+	for _, ci := range keyIdx {
+		out.Columns = append(out.Columns, Column{Name: t.Columns[ci].Name, Kind: t.Columns[ci].Kind})
+	}
+	for i, a := range aggs {
+		kind := KindFloat
+		switch a.Func {
+		case AggCount, AggCountDistinct:
+			kind = KindInt
+		case AggMin, AggMax, AggFirst:
+			if aggIdx[i] >= 0 {
+				kind = t.Columns[aggIdx[i]].Kind
+			}
+		}
+		out.Columns = append(out.Columns, Column{Name: a.outName(), Kind: kind})
+	}
+
+	for _, k := range order {
+		g := groups[k]
+		row := make([]Value, 0, len(keyIdx)+len(aggs))
+		for _, ci := range keyIdx {
+			row = append(row, t.Columns[ci].Values[g.firstRow])
+		}
+		for i, a := range aggs {
+			row = append(row, computeAgg(t, a.Func, aggIdx[i], g.rows))
+		}
+		// Bypass AppendRow coercion checks: values are already typed.
+		for j := range out.Columns {
+			out.Columns[j].Values = append(out.Columns[j].Values, row[j])
+		}
+	}
+	return out, nil
+}
+
+func computeAgg(t *Table, fn AggFunc, col int, rows []int) Value {
+	if fn == AggCount && col < 0 {
+		return Int(int64(len(rows)))
+	}
+	var vals []Value
+	for _, r := range rows {
+		v := t.Columns[col].Values[r]
+		if !v.IsNull() {
+			vals = append(vals, v)
+		}
+	}
+	switch fn {
+	case AggCount:
+		return Int(int64(len(vals)))
+	case AggCountDistinct:
+		seen := map[string]bool{}
+		for _, v := range vals {
+			seen[v.Key()] = true
+		}
+		return Int(int64(len(seen)))
+	case AggFirst:
+		if len(vals) == 0 {
+			return Null()
+		}
+		return vals[0]
+	case AggMin, AggMax:
+		if len(vals) == 0 {
+			return Null()
+		}
+		best := vals[0]
+		for _, v := range vals[1:] {
+			c := Compare(v, best)
+			if (fn == AggMin && c < 0) || (fn == AggMax && c > 0) {
+				best = v
+			}
+		}
+		return best
+	case AggSum, AggAvg, AggStdDev, AggMedian:
+		var nums []float64
+		for _, v := range vals {
+			if f, ok := v.AsFloat(); ok {
+				nums = append(nums, f)
+			}
+		}
+		if len(nums) == 0 {
+			return Null()
+		}
+		switch fn {
+		case AggSum:
+			return Float(sum(nums))
+		case AggAvg:
+			return Float(sum(nums) / float64(len(nums)))
+		case AggStdDev:
+			return Float(stddev(nums))
+		case AggMedian:
+			return Float(median(nums))
+		}
+	}
+	return Null()
+}
+
+func sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	mean := sum(xs) / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+func median(xs []float64) float64 {
+	cp := append([]float64(nil), xs...)
+	for i := 1; i < len(cp); i++ {
+		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
+			cp[j], cp[j-1] = cp[j-1], cp[j]
+		}
+	}
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}

@@ -1,0 +1,102 @@
+package table
+
+import (
+	"fmt"
+	"strings"
+)
+
+// JoinKind selects the join semantics.
+type JoinKind uint8
+
+const (
+	JoinInner JoinKind = iota
+	JoinLeft
+)
+
+// Join hash-joins t (left) with right on leftCol = rightCol. Output columns
+// are all left columns followed by all right columns; name collisions on the
+// right are disambiguated with the right table's name as a prefix.
+func (t *Table) Join(right *Table, leftCol, rightCol string, kind JoinKind) (*Table, error) {
+	li := t.ColumnIndex(leftCol)
+	if li < 0 {
+		return nil, fmt.Errorf("join: unknown left column %q on %s", leftCol, t.Name)
+	}
+	ri := right.ColumnIndex(rightCol)
+	if ri < 0 {
+		return nil, fmt.Errorf("join: unknown right column %q on %s", rightCol, right.Name)
+	}
+
+	// Build hash index over the right side.
+	index := make(map[string][]int, right.NumRows())
+	for r, n := 0, right.NumRows(); r < n; r++ {
+		v := right.Columns[ri].Values[r]
+		if v.IsNull() {
+			continue // NULL never matches in a join predicate
+		}
+		k := v.Key()
+		index[k] = append(index[k], r)
+	}
+
+	out := &Table{Name: t.Name + "_" + right.Name}
+	taken := make(map[string]bool, len(t.Columns)+len(right.Columns))
+	for _, c := range t.Columns {
+		taken[strings.ToLower(c.Name)] = true
+		out.Columns = append(out.Columns, Column{Name: c.Name, Kind: c.Kind})
+	}
+	rightNames := make([]string, len(right.Columns))
+	for i, c := range right.Columns {
+		name := c.Name
+		if taken[strings.ToLower(name)] {
+			name = right.Name + "." + c.Name
+		}
+		taken[strings.ToLower(name)] = true
+		rightNames[i] = name
+		out.Columns = append(out.Columns, Column{Name: name, Kind: c.Kind})
+	}
+
+	appendJoined := func(lr, rr int) {
+		for j := range t.Columns {
+			out.Columns[j].Values = append(out.Columns[j].Values, t.Columns[j].Values[lr])
+		}
+		for j := range right.Columns {
+			var v Value
+			if rr >= 0 {
+				v = right.Columns[j].Values[rr]
+			}
+			out.Columns[len(t.Columns)+j].Values = append(out.Columns[len(t.Columns)+j].Values, v)
+		}
+	}
+
+	for lr, n := 0, t.NumRows(); lr < n; lr++ {
+		v := t.Columns[li].Values[lr]
+		var matches []int
+		if !v.IsNull() {
+			matches = index[v.Key()]
+		}
+		if len(matches) == 0 {
+			if kind == JoinLeft {
+				appendJoined(lr, -1)
+			}
+			continue
+		}
+		for _, rr := range matches {
+			appendJoined(lr, rr)
+		}
+	}
+	return out, nil
+}
+
+// Concat appends the rows of other to a copy of t. Schemas must match in
+// arity; columns align positionally and values are coerced to t's kinds.
+func (t *Table) Concat(other *Table) (*Table, error) {
+	if t.NumCols() != other.NumCols() {
+		return nil, fmt.Errorf("concat: %d vs %d columns", t.NumCols(), other.NumCols())
+	}
+	out := t.Clone()
+	for i := range out.Columns {
+		for _, v := range other.Columns[i].Values {
+			out.Columns[i].Values = append(out.Columns[i].Values, v.Coerce(out.Columns[i].Kind))
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,193 @@
+package viz
+
+import (
+	"testing"
+
+	"datalab/internal/table"
+)
+
+func chartData(t *testing.T) *table.Table {
+	t.Helper()
+	tbl := table.MustNew("sales",
+		[]string{"region", "amount", "when"},
+		[]table.Kind{table.KindString, table.KindFloat, table.KindTime})
+	tbl.MustAppendRow(table.Str("east"), table.Float(100), table.Str("2023-01-01"))
+	tbl.MustAppendRow(table.Str("east"), table.Float(50), table.Str("2023-02-01"))
+	tbl.MustAppendRow(table.Str("west"), table.Float(75), table.Str("2023-01-01"))
+	return tbl
+}
+
+func barSpec() *Spec {
+	return &Spec{
+		Title: "Revenue by region",
+		Mark:  MarkBar,
+		Encoding: map[string]*Encoding{
+			"x": {Field: "region", Type: Nominal},
+			"y": {Field: "amount", Type: Quantitative, Aggregate: "sum"},
+		},
+	}
+}
+
+func TestValidateAcceptsGoodSpecs(t *testing.T) {
+	if err := barSpec().Validate(); err != nil {
+		t.Errorf("bar spec invalid: %v", err)
+	}
+	pie := &Spec{
+		Mark: MarkArc,
+		Encoding: map[string]*Encoding{
+			"theta": {Field: "amount", Type: Quantitative, Aggregate: "sum"},
+			"color": {Field: "region", Type: Nominal},
+		},
+	}
+	if err := pie.Validate(); err != nil {
+		t.Errorf("pie spec invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	bad := []*Spec{
+		{Mark: "heatmap3d", Encoding: map[string]*Encoding{"x": {Field: "a"}}},
+		{Mark: MarkBar},
+		{Mark: MarkBar, Encoding: map[string]*Encoding{"x": {Field: "a"}}},                    // missing y
+		{Mark: MarkArc, Encoding: map[string]*Encoding{"x": {Field: "a"}, "y": {Field: "b"}}}, // pie lacks theta
+		{Mark: MarkBar, Encoding: map[string]*Encoding{"x": {Field: "a"}, "y": {Field: "b", Type: "fancy"}}},
+		{Mark: MarkBar, Encoding: map[string]*Encoding{"x": {Field: "a"}, "y": {Field: "b", Aggregate: "explode"}}},
+		{Mark: MarkBar, Encoding: map[string]*Encoding{"x": {Field: "a"}, "y": {Field: "b"}, "w": {Field: "c"}}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("spec %d should be invalid", i)
+		}
+	}
+}
+
+func TestRenderAggregates(t *testing.T) {
+	r, err := Render(barSpec(), chartData(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series["x"]) != 2 {
+		t.Fatalf("bars = %d, want 2 regions", len(r.Series["x"]))
+	}
+	totals := map[string]float64{}
+	for i := range r.Series["x"] {
+		totals[r.Series["x"][i].S] = r.Series["y"][i].F
+	}
+	if totals["east"] != 150 || totals["west"] != 75 {
+		t.Errorf("totals = %v", totals)
+	}
+}
+
+func TestRenderNoAggregatePassthrough(t *testing.T) {
+	s := &Spec{
+		Mark: MarkPoint,
+		Encoding: map[string]*Encoding{
+			"x": {Field: "when", Type: Temporal},
+			"y": {Field: "amount", Type: Quantitative},
+		},
+	}
+	r, err := Render(s, chartData(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series["y"]) != 3 {
+		t.Errorf("points = %d, want 3", len(r.Series["y"]))
+	}
+}
+
+func TestRenderSortAndLimit(t *testing.T) {
+	s := barSpec()
+	s.Encoding["y"].Sort = "descending"
+	s.Limit = 1
+	r, err := Render(s, chartData(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series["x"]) != 1 || r.Series["x"][0].S != "east" {
+		t.Errorf("top-1 = %v", r.Series["x"])
+	}
+}
+
+func TestRenderUnknownField(t *testing.T) {
+	s := barSpec()
+	s.Encoding["x"].Field = "missing"
+	if _, err := Render(s, chartData(t)); err == nil {
+		t.Error("expected unknown-field error")
+	}
+}
+
+func TestEqualRenderedIgnoresOrder(t *testing.T) {
+	r1, err := Render(barSpec(), chartData(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := barSpec()
+	s2.Encoding["y"].Sort = "descending"
+	r2, err := Render(s2, chartData(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !EqualRendered(r1, r2) {
+		t.Error("same data in different order should be equal")
+	}
+}
+
+func TestEqualRenderedDetectsDifferences(t *testing.T) {
+	r1, _ := Render(barSpec(), chartData(t))
+	lineSpec := barSpec()
+	lineSpec.Mark = MarkLine
+	r2, _ := Render(lineSpec, chartData(t))
+	if EqualRendered(r1, r2) {
+		t.Error("different marks should not be equal")
+	}
+	avg := barSpec()
+	avg.Encoding["y"].Aggregate = "mean"
+	r3, _ := Render(avg, chartData(t))
+	if EqualRendered(r1, r3) {
+		t.Error("different aggregated values should not be equal")
+	}
+}
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	s := barSpec()
+	parsed, err := ParseSpec(s.JSON())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Mark != s.Mark || parsed.Title != s.Title {
+		t.Error("round trip lost fields")
+	}
+	if parsed.Encoding["y"].Aggregate != "sum" {
+		t.Error("round trip lost encoding")
+	}
+	if _, err := ParseSpec("{not json"); err == nil {
+		t.Error("expected JSON error")
+	}
+}
+
+func TestReadabilityRange(t *testing.T) {
+	r, _ := Render(barSpec(), chartData(t))
+	score := Readability(barSpec(), r)
+	if score < 1 || score > 5 {
+		t.Errorf("score = %v out of range", score)
+	}
+	// A titled, well-typed bar chart should beat an untitled giant pie.
+	big := table.MustNew("t", []string{"k", "v"}, []table.Kind{table.KindString, table.KindFloat})
+	for i := 0; i < 40; i++ {
+		big.MustAppendRow(table.Str(string(rune('a'+i%26))+string(rune('a'+i/26))), table.Float(float64(i)))
+	}
+	pie := &Spec{
+		Mark: MarkArc,
+		Encoding: map[string]*Encoding{
+			"theta": {Field: "v", Type: Quantitative},
+			"color": {Field: "k", Type: Nominal},
+		},
+	}
+	pr, err := Render(pie, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Readability(pie, pr) >= score {
+		t.Error("40-slice pie should score below titled bar chart")
+	}
+}
