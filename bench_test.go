@@ -209,6 +209,108 @@ func BenchmarkNotebookDAGConstruction(b *testing.B) {
 	}
 }
 
+// --- vectorized vs scalar execution benchmarks ---
+//
+// These pit the columnar vectorized engine (Catalog.Query) against the
+// row-at-a-time scalar reference path (Catalog.QueryScalar) on a 100k-row
+// table; the vectorized path is the one the platform uses. Run with:
+//
+//	go test -bench='Vectorized|Scalar' -benchmem
+
+// benchBigCatalog builds a 100k-row sales table plus a small dimension
+// table for join benchmarks.
+func benchBigCatalog(rows int) *sqlengine.Catalog {
+	t := table.MustNew("big",
+		[]string{"id", "region", "product_id", "amount", "qty"},
+		[]table.Kind{table.KindInt, table.KindString, table.KindInt, table.KindFloat, table.KindInt})
+	regions := []string{"east", "west", "north", "south", "emea", "apac"}
+	for i := 0; i < rows; i++ {
+		t.MustAppendRow(
+			table.Int(int64(i)),
+			table.Str(regions[i%len(regions)]),
+			table.Int(int64(i%64)),
+			table.Float(float64((i*7919)%100000)/100),
+			table.Int(int64(i%13)),
+		)
+	}
+	dim := table.MustNew("product",
+		[]string{"pid", "category", "price"},
+		[]table.Kind{table.KindInt, table.KindString, table.KindFloat})
+	for k := 0; k < 64; k++ {
+		dim.MustAppendRow(table.Int(int64(k)), table.Str(fmt.Sprintf("cat%d", k%5)), table.Float(float64(k)*3.5))
+	}
+	cat := sqlengine.NewCatalog()
+	cat.Register(t)
+	cat.Register(dim)
+	return cat
+}
+
+const (
+	benchRows        = 100_000
+	benchFilterQuery = "SELECT id, amount FROM big WHERE amount > 400 AND qty < 10 AND region <> 'apac'"
+	benchGroupQuery  = "SELECT region, SUM(amount), COUNT(*), AVG(qty) FROM big WHERE amount > 100 GROUP BY region"
+	benchJoinQuery   = "SELECT big.region, product.category, SUM(big.amount) FROM big JOIN product ON big.product_id = product.pid GROUP BY big.region, product.category"
+)
+
+func benchQuery(b *testing.B, q string, scalar bool) {
+	b.Helper()
+	cat := benchBigCatalog(benchRows)
+	run := cat.Query
+	if scalar {
+		run = cat.QueryScalar
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := run(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFilter100kVectorized(b *testing.B) { benchQuery(b, benchFilterQuery, false) }
+func BenchmarkFilter100kScalar(b *testing.B)     { benchQuery(b, benchFilterQuery, true) }
+
+func BenchmarkGroupBy100kVectorized(b *testing.B) { benchQuery(b, benchGroupQuery, false) }
+func BenchmarkGroupBy100kScalar(b *testing.B)     { benchQuery(b, benchGroupQuery, true) }
+
+func BenchmarkJoin100kVectorized(b *testing.B) { benchQuery(b, benchJoinQuery, false) }
+
+// BenchmarkJoin10kScalar uses 10k rows: the scalar nested-loop join over
+// 100k x 64 pairs is too slow to benchmark comfortably.
+func BenchmarkJoin10kScalar(b *testing.B) {
+	cat := benchBigCatalog(10_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cat.QueryScalar(benchJoinQuery); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkJoin10kVectorized(b *testing.B) {
+	cat := benchBigCatalog(10_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cat.Query(benchJoinQuery); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConcurrentQuery measures throughput with many goroutines sharing
+// the catalog and the engine's bounded worker pool.
+func BenchmarkConcurrentQuery(b *testing.B) {
+	cat := benchBigCatalog(benchRows)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := cat.Query(benchGroupQuery); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 func BenchmarkPlatformAsk(b *testing.B) {
 	p := MustNew(WithSeed("bench-ask"))
 	if err := p.LoadRecords("sales",

@@ -1,0 +1,66 @@
+package datalab
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentAskAndQuery drives one Platform from many goroutines mixing
+// NL queries (which plan multi-agent executions and may register derived
+// tables) with raw SQL. It exists to run under -race: the catalog's RWMutex,
+// the platform's state mutex, and the engine's bounded worker pool all get
+// exercised together.
+func TestConcurrentAskAndQuery(t *testing.T) {
+	p := MustNew(WithSeed("race-test"))
+	cols := []string{"region", "product", "revenue"}
+	var rows [][]string
+	regions := []string{"east", "west", "north", "south"}
+	for i := 0; i < 200; i++ {
+		rows = append(rows, []string{
+			regions[i%len(regions)],
+			fmt.Sprintf("p%d", i%7),
+			fmt.Sprintf("%d", (i*37)%500),
+		})
+	}
+	if err := p.LoadRecords("sales", cols, rows); err != nil {
+		t.Fatal(err)
+	}
+
+	asks := []string{
+		"total revenue by region",
+		"average revenue by product as a bar chart",
+		"show anomalies in revenue",
+	}
+	sqls := []string{
+		"SELECT region, SUM(revenue) FROM sales GROUP BY region ORDER BY 2 DESC",
+		"SELECT product, COUNT(*) FROM sales WHERE revenue > 100 GROUP BY product",
+		"SELECT * FROM sales WHERE region = 'east' LIMIT 10",
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				if (g+i)%2 == 0 {
+					if _, err := p.Ask(asks[(g+i)%len(asks)], "sales"); err != nil {
+						t.Errorf("Ask: %v", err)
+						return
+					}
+				} else {
+					if _, _, err := p.Query(sqls[(g+i)%len(sqls)]); err != nil {
+						t.Errorf("Query: %v", err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if n := len(p.Tables()); n < 1 {
+		t.Fatalf("tables = %d", n)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
 	"datalab/internal/agent"
 	"datalab/internal/comm"
@@ -47,9 +48,20 @@ func WithSeed(seed string) Option {
 }
 
 // Platform is one DataLab deployment: catalog + knowledge + agents.
+//
+// A Platform is safe for concurrent use: Ask and Query may be called from
+// many goroutines at once (the catalog serializes registrations against
+// readers, and the SQL engine runs scan/aggregate partitions on a bounded
+// worker pool shared across queries). LearnKnowledge and AddGlossary are
+// setup-phase calls: they mutate the knowledge graph in place, so they must
+// complete before concurrent Ask traffic begins — the platform mutex
+// serializes the runtime swap itself, but not readers of graph internals
+// inside an Ask already in flight.
 type Platform struct {
 	client  *llm.Client
 	catalog *sqlengine.Catalog
+
+	mu      sync.RWMutex // guards graph, rt, history
 	graph   *knowledge.Graph
 	rt      *agent.Runtime
 	history []string
@@ -178,6 +190,8 @@ func (p *Platform) LearnKnowledge(database, tableName string, columns []ColumnSc
 	if err != nil {
 		return err
 	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.graph == nil {
 		p.graph = knowledge.NewGraph()
 	}
@@ -189,6 +203,8 @@ func (p *Platform) LearnKnowledge(database, tableName string, columns []ColumnSc
 
 // AddGlossary registers enterprise jargon in the knowledge graph.
 func (p *Platform) AddGlossary(entries ...Glossary) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.graph == nil {
 		p.graph = knowledge.NewGraph()
 		p.rt = agent.NewRuntime(p.client, p.catalog).WithGraph(p.graph, knowledge.LevelFull)
@@ -229,14 +245,19 @@ func (p *Platform) Ask(query, tableName string) (*Answer, error) {
 	if _, ok := p.catalog.Table(tableName); !ok {
 		return nil, fmt.Errorf("datalab: unknown table %q", tableName)
 	}
-	planner := agent.NewPlanner(p.rt)
+	p.mu.RLock()
+	rt := p.rt
+	p.mu.RUnlock()
+	planner := agent.NewPlanner(rt)
 	plan, agents := planner.Plan(query, tableName)
 	proxy := comm.NewProxy(comm.DefaultProxyConfig())
 	units, _, err := proxy.Run(plan, agents, query)
 	if err != nil {
 		return nil, err
 	}
+	p.mu.Lock()
 	p.history = append(p.history, query)
+	p.mu.Unlock()
 
 	ans := &Answer{}
 	for _, u := range units {

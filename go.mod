@@ -1,0 +1,3 @@
+module datalab
+
+go 1.24

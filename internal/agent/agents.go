@@ -507,7 +507,7 @@ func NewCleaningAgent(rt *Runtime, tableName string) *BIAgent {
 		func(rt *Runtime, t *table.Table, query string) (string, error) {
 			clean := t.Filter(func(row int) bool {
 				for j := range t.Columns {
-					if t.Columns[j].Values[row].IsNull() {
+					if t.Columns[j].IsNullAt(row) {
 						return false
 					}
 				}
@@ -534,8 +534,8 @@ func NewImputationAgent(rt *Runtime, tableName string) *BIAgent {
 				}
 				var sum float64
 				var n int
-				for _, v := range c.Values {
-					if f, okf := v.AsFloat(); okf && !v.IsNull() {
+				for i, m := 0, c.Len(); i < m; i++ {
+					if f, okf := c.FloatAt(i); okf {
 						sum += f
 						n++
 					}
@@ -544,9 +544,9 @@ func NewImputationAgent(rt *Runtime, tableName string) *BIAgent {
 					continue
 				}
 				m := sum / float64(n)
-				for i, v := range c.Values {
-					if v.IsNull() {
-						c.Values[i] = table.Float(m).Coerce(c.Kind)
+				for i, cl := 0, c.Len(); i < cl; i++ {
+					if c.IsNullAt(i) {
+						c.Set(i, table.Float(m).Coerce(c.Kind))
 						filled++
 					}
 				}

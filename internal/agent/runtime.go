@@ -3,6 +3,7 @@ package agent
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"datalab/internal/dsl"
 	"datalab/internal/knowledge"
@@ -33,6 +34,7 @@ type Runtime struct {
 	// Distraction rates irrelevant-context volume reaching agents.
 	Distraction float64
 
+	cacheMu      sync.Mutex
 	profileCache map[string]*knowledge.Bundle
 }
 
@@ -100,10 +102,15 @@ func (rt *Runtime) Candidates(query, tableName string) ([]knowledge.CandidateCol
 	if !ok {
 		return nil, nil, fmt.Errorf("agent: unknown table %q", tableName)
 	}
-	b, cached := rt.profileCache[strings.ToLower(tableName)]
+	key := strings.ToLower(tableName)
+	rt.cacheMu.Lock()
+	b, cached := rt.profileCache[key]
+	rt.cacheMu.Unlock()
 	if !cached {
 		b = rt.Profiler.Profile(t)
-		rt.profileCache[strings.ToLower(tableName)] = b
+		rt.cacheMu.Lock()
+		rt.profileCache[key] = b
+		rt.cacheMu.Unlock()
 	}
 	return b.Candidates(), b.ValueHints(), nil
 }

@@ -47,11 +47,8 @@ func numericColumn(t *table.Table, col string) []float64 {
 		return nil
 	}
 	var out []float64
-	for _, v := range c.Values {
-		if v.IsNull() {
-			continue
-		}
-		if f, ok := v.AsFloat(); ok {
+	for i, n := 0, c.Len(); i < n; i++ {
+		if f, ok := c.FloatAt(i); ok {
 			out = append(out, f)
 		}
 	}
@@ -185,11 +182,8 @@ func DetectAnomalies(t *table.Table, col string, method AnomalyMethod, threshold
 	}
 	var vals []float64
 	var rows []int
-	for i, v := range c.Values {
-		if v.IsNull() {
-			continue
-		}
-		if f, ok := v.AsFloat(); ok {
+	for i, n := 0, c.Len(); i < n; i++ {
+		if f, ok := c.FloatAt(i); ok {
 			vals = append(vals, f)
 			rows = append(rows, i)
 		}

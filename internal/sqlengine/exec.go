@@ -2,15 +2,18 @@ package sqlengine
 
 import (
 	"fmt"
-	"math"
 	"sort"
 	"strings"
+	"sync"
 
 	"datalab/internal/table"
 )
 
-// Catalog is a named collection of tables — the engine's database.
+// Catalog is a named collection of tables — the engine's database. It is
+// safe for concurrent use: many readers (Query/Execute) may run in parallel
+// with each other, serialized only against Register.
 type Catalog struct {
+	mu     sync.RWMutex
 	tables map[string]*table.Table
 	order  []string
 }
@@ -20,8 +23,11 @@ func NewCatalog() *Catalog {
 	return &Catalog{tables: map[string]*table.Table{}}
 }
 
-// Register adds (or replaces) a table under its own name.
+// Register adds (or replaces) a table under its own name. Queries already
+// holding the previous *Table keep reading it unaffected.
 func (c *Catalog) Register(t *table.Table) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	key := strings.ToLower(t.Name)
 	if _, exists := c.tables[key]; !exists {
 		c.order = append(c.order, key)
@@ -32,6 +38,8 @@ func (c *Catalog) Register(t *table.Table) {
 // Table looks up a table case-insensitively, also accepting a trailing
 // "db." qualifier.
 func (c *Catalog) Table(name string) (*table.Table, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	key := strings.ToLower(name)
 	if t, ok := c.tables[key]; ok {
 		return t, true
@@ -46,6 +54,8 @@ func (c *Catalog) Table(name string) (*table.Table, bool) {
 
 // TableNames returns registered table names in registration order.
 func (c *Catalog) TableNames() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	names := make([]string, 0, len(c.order))
 	for _, k := range c.order {
 		names = append(names, c.tables[k].Name)
@@ -53,7 +63,8 @@ func (c *Catalog) TableNames() []string {
 	return names
 }
 
-// Query parses and executes a SELECT against the catalog.
+// Query parses and executes a SELECT against the catalog using the
+// vectorized executor.
 func (c *Catalog) Query(sql string) (*table.Table, error) {
 	stmt, err := Parse(sql)
 	if err != nil {
@@ -62,174 +73,80 @@ func (c *Catalog) Query(sql string) (*table.Table, error) {
 	return c.Execute(stmt)
 }
 
-// relation is the executor's working representation: qualified columns
-// plus row-major values.
-type relation struct {
+// relSchema is the column metadata shared by the vectorized and scalar
+// executors: qualifier, lowercased name, display name and kind per column.
+type relSchema struct {
 	quals []string // lowercased table alias/name per column
 	names []string // lowercased column name per column
 	disp  []string // display name per column (original case)
 	kinds []table.Kind
-	rows  [][]table.Value
 }
 
-func relationFrom(t *table.Table, qual string) *relation {
-	r := &relation{}
+func schemaFrom(t *table.Table, qual string) relSchema {
+	var s relSchema
 	q := strings.ToLower(qual)
-	for _, col := range t.Columns {
-		r.quals = append(r.quals, q)
-		r.names = append(r.names, strings.ToLower(col.Name))
-		r.disp = append(r.disp, col.Name)
-		r.kinds = append(r.kinds, col.Kind)
+	for i := range t.Columns {
+		s.quals = append(s.quals, q)
+		s.names = append(s.names, strings.ToLower(t.Columns[i].Name))
+		s.disp = append(s.disp, t.Columns[i].Name)
+		s.kinds = append(s.kinds, t.Columns[i].Kind)
 	}
-	n := t.NumRows()
-	r.rows = make([][]table.Value, n)
-	for i := 0; i < n; i++ {
-		r.rows[i] = t.Row(i)
+	return s
+}
+
+func concatSchemas(l, r *relSchema) relSchema {
+	return relSchema{
+		quals: append(append([]string{}, l.quals...), r.quals...),
+		names: append(append([]string{}, l.names...), r.names...),
+		disp:  append(append([]string{}, l.disp...), r.disp...),
+		kinds: append(append([]table.Kind{}, l.kinds...), r.kinds...),
 	}
-	return r
 }
 
 // findColumn resolves a reference to a column index; -1 when absent.
 // Ambiguous unqualified references resolve to the first match, matching
 // the lenient behaviour benchmark queries rely on.
-func (r *relation) findColumn(ref *ColumnRef) int {
+func (s *relSchema) findColumn(ref *ColumnRef) int {
 	name := strings.ToLower(ref.Name)
 	qual := strings.ToLower(ref.Table)
-	for i := range r.names {
-		if r.names[i] != name {
+	for i := range s.names {
+		if s.names[i] != name {
 			continue
 		}
-		if qual == "" || r.quals[i] == qual {
+		if qual == "" || s.quals[i] == qual {
 			return i
 		}
 	}
 	return -1
 }
 
-// rowEnv evaluates expressions against one relation row.
-type rowEnv struct {
-	rel *relation
-	row []table.Value
+func errUnknownColumn(ref *ColumnRef) error {
+	return fmt.Errorf("sql: unknown column %q", ref.SQL())
 }
 
-func (e *rowEnv) resolveColumn(ref *ColumnRef) (table.Value, error) {
-	i := e.rel.findColumn(ref)
-	if i < 0 {
-		return table.Null(), fmt.Errorf("sql: unknown column %q", ref.SQL())
-	}
-	return e.row[i], nil
+func errAggInRowContext(fn *FuncCall) error {
+	return fmt.Errorf("sql: aggregate %s in row context (missing GROUP BY?)", fn.Name)
 }
 
-func (e *rowEnv) resolveAggregate(fn *FuncCall) (table.Value, error) {
-	return table.Null(), fmt.Errorf("sql: aggregate %s in row context (missing GROUP BY?)", fn.Name)
+// vrel is the vectorized executor's working representation: shared schema
+// plus column vectors. Base-table scans share storage with the catalog
+// tables (zero copy); the columns must be treated as read-only.
+type vrel struct {
+	relSchema
+	cols  []table.Column
+	nrows int
 }
 
-// groupEnv evaluates expressions against one group: plain columns resolve
-// from the group's first row, aggregates compute over all group rows.
-type groupEnv struct {
-	rel  *relation
-	rows []int // indexes into rel.rows
+func vrelFrom(t *table.Table, qual string) *vrel {
+	r := &vrel{relSchema: schemaFrom(t, qual), nrows: t.NumRows()}
+	r.cols = append(r.cols, t.Columns...)
+	return r
 }
 
-func (e *groupEnv) resolveColumn(ref *ColumnRef) (table.Value, error) {
-	i := e.rel.findColumn(ref)
-	if i < 0 {
-		return table.Null(), fmt.Errorf("sql: unknown column %q", ref.SQL())
-	}
-	if len(e.rows) == 0 {
-		return table.Null(), nil
-	}
-	return e.rel.rows[e.rows[0]][i], nil
-}
-
-func (e *groupEnv) resolveAggregate(fn *FuncCall) (table.Value, error) {
-	if fn.IsStar {
-		if fn.Name != "COUNT" {
-			return table.Null(), fmt.Errorf("sql: %s(*) is not supported", fn.Name)
-		}
-		return table.Int(int64(len(e.rows))), nil
-	}
-	if len(fn.Args) != 1 {
-		return table.Null(), fmt.Errorf("sql: aggregate %s expects one argument", fn.Name)
-	}
-	var vals []table.Value
-	seen := map[string]bool{}
-	for _, ri := range e.rows {
-		re := &rowEnv{rel: e.rel, row: e.rel.rows[ri]}
-		v, err := evalExpr(fn.Args[0], re)
-		if err != nil {
-			return table.Null(), err
-		}
-		if v.IsNull() {
-			continue
-		}
-		if fn.Distinct {
-			k := v.Key()
-			if seen[k] {
-				continue
-			}
-			seen[k] = true
-		}
-		vals = append(vals, v)
-	}
-	switch fn.Name {
-	case "COUNT":
-		return table.Int(int64(len(vals))), nil
-	case "SUM", "AVG", "STDDEV", "MEDIAN":
-		var nums []float64
-		for _, v := range vals {
-			if f, ok := v.AsFloat(); ok {
-				nums = append(nums, f)
-			}
-		}
-		if len(nums) == 0 {
-			return table.Null(), nil
-		}
-		var total float64
-		for _, f := range nums {
-			total += f
-		}
-		switch fn.Name {
-		case "SUM":
-			return table.Float(total), nil
-		case "AVG":
-			return table.Float(total / float64(len(nums))), nil
-		case "STDDEV":
-			mean := total / float64(len(nums))
-			if len(nums) < 2 {
-				return table.Float(0), nil
-			}
-			var ss float64
-			for _, f := range nums {
-				d := f - mean
-				ss += d * d
-			}
-			return table.Float(math.Sqrt(ss / float64(len(nums)-1))), nil
-		case "MEDIAN":
-			sort.Float64s(nums)
-			n := len(nums)
-			if n%2 == 1 {
-				return table.Float(nums[n/2]), nil
-			}
-			return table.Float((nums[n/2-1] + nums[n/2]) / 2), nil
-		}
-	case "MIN", "MAX":
-		if len(vals) == 0 {
-			return table.Null(), nil
-		}
-		best := vals[0]
-		for _, v := range vals[1:] {
-			c := table.Compare(v, best)
-			if (fn.Name == "MIN" && c < 0) || (fn.Name == "MAX" && c > 0) {
-				best = v
-			}
-		}
-		return best, nil
-	}
-	return table.Null(), fmt.Errorf("sql: unknown aggregate %s", fn.Name)
-}
-
-// Execute runs a parsed statement against the catalog.
+// Execute runs a parsed statement against the catalog with the vectorized
+// engine: columnar scans, selection-vector filtering, hash joins for
+// equi-join conditions and hash aggregation, parallelized over row and
+// group partitions through the bounded worker pool.
 func (c *Catalog) Execute(stmt *SelectStmt) (*table.Table, error) {
 	base, ok := c.Table(stmt.From)
 	if !ok {
@@ -239,7 +156,7 @@ func (c *Catalog) Execute(stmt *SelectStmt) (*table.Table, error) {
 	if stmt.FromAs != "" {
 		qual = stmt.FromAs
 	}
-	rel := relationFrom(base, qual)
+	rel := vrelFrom(base, qual)
 
 	for _, j := range stmt.Joins {
 		rt, ok := c.Table(j.Table)
@@ -251,38 +168,36 @@ func (c *Catalog) Execute(stmt *SelectStmt) (*table.Table, error) {
 			jq = j.Alias
 		}
 		var err error
-		rel, err = joinRelations(rel, relationFrom(rt, jq), j)
+		rel, err = joinVRel(rel, vrelFrom(rt, jq), j)
 		if err != nil {
 			return nil, err
 		}
 	}
 
+	var sel []int // nil = all rows
 	if stmt.Where != nil {
-		var kept [][]table.Value
-		for _, row := range rel.rows {
-			v, err := evalExpr(stmt.Where, &rowEnv{rel: rel, row: row})
-			if err != nil {
-				return nil, err
-			}
-			if b, ok := v.AsBool(); ok && b {
-				kept = append(kept, row)
-			}
+		var err error
+		sel, err = filterWhere(rel, stmt.Where)
+		if err != nil {
+			return nil, err
 		}
-		rel.rows = kept
 	}
 
 	grouped := len(stmt.GroupBy) > 0 || stmt.Having != nil || selectHasAggregate(stmt)
 	var out *table.Table
 	var err error
 	if grouped {
-		out, err = c.executeGrouped(stmt, rel)
+		out, err = executeGroupedVec(stmt, rel, sel)
 	} else {
-		out, err = c.executePlain(stmt, rel)
+		out, err = executePlainVec(stmt, rel, sel)
 	}
 	if err != nil {
 		return nil, err
 	}
+	return applyDistinctOffsetLimit(stmt, out), nil
+}
 
+func applyDistinctOffsetLimit(stmt *SelectStmt, out *table.Table) *table.Table {
 	if stmt.Distinct {
 		out = out.Distinct()
 	}
@@ -292,7 +207,297 @@ func (c *Catalog) Execute(stmt *SelectStmt) (*table.Table, error) {
 	if stmt.Limit >= 0 {
 		out = out.Limit(stmt.Limit)
 	}
+	return out
+}
+
+// filterWhere evaluates the WHERE predicate over all rows and returns the
+// selection vector of passing row indices. Large scans are partitioned
+// across the worker pool.
+func filterWhere(rel *vrel, where Expr) ([]int, error) {
+	n := rel.nrows
+	pass := make([]bool, n)
+	if n >= 2*parallelMinRows {
+		idx := iotaInts(n)
+		err := parallelChunks(n, parallelMinRows, func(lo, hi int) error {
+			col, err := evalVec(where, rel, idx[lo:hi])
+			if err != nil {
+				return err
+			}
+			fillPass(&col, pass[lo:hi])
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		col, err := evalVec(where, rel, nil)
+		if err != nil {
+			return nil, err
+		}
+		fillPass(&col, pass)
+	}
+	sel := make([]int, 0, n)
+	for i, p := range pass {
+		if p {
+			sel = append(sel, i)
+		}
+	}
+	return sel, nil
+}
+
+// fillPass marks rows whose predicate value is a known true, matching the
+// scalar executor's truthiness rules.
+func fillPass(col *table.Column, pass []bool) {
+	if bs, nulls, ok := col.Bools(); ok {
+		for i := range bs {
+			pass[i] = bs[i] && !nulls[i]
+		}
+		return
+	}
+	for i := range pass {
+		v := col.Value(i)
+		if v.IsNull() {
+			continue
+		}
+		if b, ok := v.AsBool(); ok && b {
+			pass[i] = true
+		}
+	}
+}
+
+func iotaInts(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+// --- joins ---
+
+// pairEnv evaluates the ON predicate for one (left row, right row)
+// candidate without materializing the combined row.
+type pairEnv struct {
+	schema      *relSchema // combined
+	left, right *vrel
+	lrow, rrow  int
+}
+
+func (e *pairEnv) resolveColumn(ref *ColumnRef) (table.Value, error) {
+	i := e.schema.findColumn(ref)
+	if i < 0 {
+		return table.Null(), errUnknownColumn(ref)
+	}
+	if i < len(e.left.cols) {
+		return e.left.cols[i].Value(e.lrow), nil
+	}
+	if e.rrow < 0 {
+		return table.Null(), nil
+	}
+	return e.right.cols[i-len(e.left.cols)].Value(e.rrow), nil
+}
+
+func (e *pairEnv) resolveAggregate(fn *FuncCall) (table.Value, error) {
+	return table.Null(), errAggInRowContext(fn)
+}
+
+// splitConjuncts flattens a tree of ANDs into its conjuncts in evaluation
+// order.
+func splitConjuncts(e Expr) []Expr {
+	if b, ok := e.(*Binary); ok && b.Op == "AND" {
+		return append(splitConjuncts(b.L), splitConjuncts(b.R)...)
+	}
+	return []Expr{e}
+}
+
+// joinVRel joins left and right. Equality conjuncts between a left and a
+// right column drive a hash join (build on the right, probe from the left);
+// remaining conjuncts are evaluated as residual predicates per candidate
+// pair. Without any equi conjunct it degrades to a nested-loop join.
+func joinVRel(left, right *vrel, j JoinClause) (*vrel, error) {
+	out := &vrel{relSchema: concatSchemas(&left.relSchema, &right.relSchema)}
+	nl := len(left.cols)
+
+	var equiL, equiR []int
+	var residual []Expr
+	for _, cj := range splitConjuncts(j.On) {
+		if b, ok := cj.(*Binary); ok && b.Op == "=" {
+			lr, lok := b.L.(*ColumnRef)
+			rr, rok := b.R.(*ColumnRef)
+			if lok && rok {
+				ci := out.findColumn(lr)
+				cj2 := out.findColumn(rr)
+				switch {
+				case ci >= 0 && cj2 >= nl:
+					if ci < nl {
+						equiL = append(equiL, ci)
+						equiR = append(equiR, cj2-nl)
+						continue
+					}
+				case cj2 >= 0 && cj2 < nl && ci >= nl:
+					equiL = append(equiL, cj2)
+					equiR = append(equiR, ci-nl)
+					continue
+				}
+			}
+		}
+		residual = append(residual, cj)
+	}
+
+	env := &pairEnv{schema: &out.relSchema, left: left, right: right}
+	residualOK := func(l, r int) (bool, error) {
+		env.lrow, env.rrow = l, r
+		for _, cj := range residual {
+			v, err := evalExpr(cj, env)
+			if err != nil {
+				return false, err
+			}
+			if b, ok := v.AsBool(); !ok || !b {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+
+	var lidx, ridx []int
+	appendPair := func(l, r int) {
+		lidx = append(lidx, l)
+		ridx = append(ridx, r)
+	}
+
+	if len(equiL) > 0 {
+		probe := buildProbe(left, right, equiL, equiR)
+		for l := 0; l < left.nrows; l++ {
+			matched := false
+			for _, r := range probe(l) {
+				ok, err := residualOK(l, r)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					matched = true
+					appendPair(l, r)
+				}
+			}
+			if !matched && j.Kind == table.JoinLeft {
+				appendPair(l, -1)
+			}
+		}
+	} else {
+		full := splitConjuncts(j.On)
+		fullOK := func(l, r int) (bool, error) {
+			env.lrow, env.rrow = l, r
+			for _, cj := range full {
+				v, err := evalExpr(cj, env)
+				if err != nil {
+					return false, err
+				}
+				if b, ok := v.AsBool(); !ok || !b {
+					return false, nil
+				}
+			}
+			return true, nil
+		}
+		for l := 0; l < left.nrows; l++ {
+			matched := false
+			for r := 0; r < right.nrows; r++ {
+				ok, err := fullOK(l, r)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					matched = true
+					appendPair(l, r)
+				}
+			}
+			if !matched && j.Kind == table.JoinLeft {
+				appendPair(l, -1)
+			}
+		}
+	}
+
+	out.cols = make([]table.Column, 0, nl+len(right.cols))
+	for i := range left.cols {
+		out.cols = append(out.cols, left.cols[i].Gather(lidx))
+	}
+	for i := range right.cols {
+		out.cols = append(out.cols, right.cols[i].Gather(ridx))
+	}
+	out.nrows = len(lidx)
 	return out, nil
+}
+
+// buildProbe hashes the right side's equi-key columns and returns a probe
+// function from a left row to candidate right rows, delegating to the
+// shared table.NewHashProbe (typed int/string maps for single keys,
+// canonical value keys otherwise).
+func buildProbe(left, right *vrel, equiL, equiR []int) func(l int) []int {
+	lcols := make([]*table.Column, len(equiL))
+	rcols := make([]*table.Column, len(equiR))
+	for i := range equiL {
+		lcols[i] = &left.cols[equiL[i]]
+		rcols[i] = &right.cols[equiR[i]]
+	}
+	return table.NewHashProbe(lcols, rcols)
+}
+
+// --- projection ---
+
+// projection expands select items (including * and t.*) to concrete exprs.
+func expandItems(stmt *SelectStmt, s *relSchema) []SelectItem {
+	var items []SelectItem
+	for _, it := range stmt.Items {
+		switch x := it.Expr.(type) {
+		case Star:
+			for i := range s.names {
+				items = append(items, SelectItem{
+					Expr:  &ColumnRef{Table: s.quals[i], Name: s.disp[i]},
+					Alias: s.disp[i],
+				})
+			}
+		case *ColumnRef:
+			if x.Name == "*" {
+				for i := range s.names {
+					if s.quals[i] == strings.ToLower(x.Table) {
+						items = append(items, SelectItem{
+							Expr:  &ColumnRef{Table: s.quals[i], Name: s.disp[i]},
+							Alias: s.disp[i],
+						})
+					}
+				}
+				continue
+			}
+			items = append(items, it)
+		default:
+			items = append(items, it)
+		}
+	}
+	return items
+}
+
+// orderExprs resolves ORDER BY items to evaluable expressions, honoring
+// select-list aliases and 1-based positions.
+func orderExprs(stmt *SelectStmt, items []SelectItem) []OrderItem {
+	resolved := make([]OrderItem, len(stmt.OrderBy))
+	for i, o := range stmt.OrderBy {
+		resolved[i] = o
+		if lit, ok := o.Expr.(*Literal); ok && lit.Value.Kind == table.KindInt {
+			pos := int(lit.Value.I)
+			if pos >= 1 && pos <= len(items) {
+				resolved[i].Expr = items[pos-1].Expr
+			}
+			continue
+		}
+		if ref, ok := o.Expr.(*ColumnRef); ok && ref.Table == "" {
+			for _, it := range items {
+				if strings.EqualFold(it.OutputName(), ref.Name) {
+					resolved[i].Expr = it.Expr
+					break
+				}
+			}
+		}
+	}
+	return resolved
 }
 
 func selectHasAggregate(stmt *SelectStmt) bool {
@@ -345,237 +550,414 @@ func exprHasAggregate(e Expr) bool {
 	return false
 }
 
-// joinRelations nested-loop joins left and right with the ON predicate.
-func joinRelations(left, right *relation, j JoinClause) (*relation, error) {
-	out := &relation{
-		quals: append(append([]string{}, left.quals...), right.quals...),
-		names: append(append([]string{}, left.names...), right.names...),
-		disp:  append(append([]string{}, left.disp...), right.disp...),
-		kinds: append(append([]table.Kind{}, left.kinds...), right.kinds...),
+// executePlainVec projects the selected rows column-at-a-time.
+func executePlainVec(stmt *SelectStmt, rel *vrel, sel []int) (*table.Table, error) {
+	items := expandItems(stmt, &rel.relSchema)
+	order := orderExprs(stmt, items)
+	n := selLen(rel, sel)
+
+	outCols := make([]table.Column, len(items))
+	for i, it := range items {
+		col, err := evalVec(it.Expr, rel, sel)
+		if err != nil {
+			return nil, err
+		}
+		if _, isRef := it.Expr.(*ColumnRef); isRef && sel == nil && len(order) == 0 {
+			// Bare column with no filter shares catalog storage; copy so the
+			// result table owns its data. With ORDER BY the Gather below
+			// already produces fresh storage.
+			col = col.CloneData()
+		}
+		outCols[i] = col
 	}
-	nullsRight := make([]table.Value, len(right.names))
-	for _, lrow := range left.rows {
-		matched := false
-		for _, rrow := range right.rows {
-			combined := append(append([]table.Value{}, lrow...), rrow...)
-			v, err := evalExpr(j.On, &rowEnv{rel: out, row: combined})
+
+	if len(order) > 0 {
+		keyCols := make([]table.Column, len(order))
+		for k, o := range order {
+			col, err := evalVec(o.Expr, rel, sel)
 			if err != nil {
 				return nil, err
 			}
-			if b, ok := v.AsBool(); ok && b {
-				matched = true
-				out.rows = append(out.rows, combined)
-			}
+			keyCols[k] = col
 		}
-		if !matched && j.Kind == table.JoinLeft {
-			out.rows = append(out.rows, append(append([]table.Value{}, lrow...), nullsRight...))
+		perm := sortPerm(keyCols, order, n)
+		for i := range outCols {
+			outCols[i] = outCols[i].Gather(perm)
 		}
 	}
-	return out, nil
+	return buildOutputCols(stmt.From, items, outCols), nil
 }
 
-// projection expands select items (including * and t.*) to concrete exprs.
-func expandItems(stmt *SelectStmt, rel *relation) []SelectItem {
-	var items []SelectItem
-	for _, it := range stmt.Items {
-		switch x := it.Expr.(type) {
-		case Star:
-			for i := range rel.names {
-				items = append(items, SelectItem{
-					Expr:  &ColumnRef{Table: rel.quals[i], Name: rel.disp[i]},
-					Alias: rel.disp[i],
-				})
-			}
-		case *ColumnRef:
-			if x.Name == "*" {
-				for i := range rel.names {
-					if rel.quals[i] == strings.ToLower(x.Table) {
-						items = append(items, SelectItem{
-							Expr:  &ColumnRef{Table: rel.quals[i], Name: rel.disp[i]},
-							Alias: rel.disp[i],
-						})
-					}
-				}
+// sortPerm returns the stable row permutation ordering the key columns.
+func sortPerm(keyCols []table.Column, order []OrderItem, n int) []int {
+	perm := iotaInts(n)
+	sort.SliceStable(perm, func(a, b int) bool {
+		ra, rb := perm[a], perm[b]
+		for k := range order {
+			c := table.Compare(keyCols[k].Value(ra), keyCols[k].Value(rb))
+			if c == 0 {
 				continue
 			}
-			items = append(items, it)
-		default:
-			items = append(items, it)
-		}
-	}
-	return items
-}
-
-// orderExprs resolves ORDER BY items to evaluable expressions, honoring
-// select-list aliases and 1-based positions.
-func orderExprs(stmt *SelectStmt, items []SelectItem) []OrderItem {
-	resolved := make([]OrderItem, len(stmt.OrderBy))
-	for i, o := range stmt.OrderBy {
-		resolved[i] = o
-		if lit, ok := o.Expr.(*Literal); ok && lit.Value.Kind == table.KindInt {
-			pos := int(lit.Value.I)
-			if pos >= 1 && pos <= len(items) {
-				resolved[i].Expr = items[pos-1].Expr
+			if order[k].Desc {
+				return c > 0
 			}
-			continue
+			return c < 0
 		}
-		if ref, ok := o.Expr.(*ColumnRef); ok && ref.Table == "" {
-			for _, it := range items {
-				if strings.EqualFold(it.OutputName(), ref.Name) {
-					resolved[i].Expr = it.Expr
-					break
-				}
-			}
+		return false
+	})
+	return perm
+}
+
+// buildOutputCols assembles the result table from already-computed columns.
+func buildOutputCols(name string, items []SelectItem, cols []table.Column) *table.Table {
+	names := outputNames(items)
+	out := &table.Table{Name: name}
+	for i := range cols {
+		cols[i].Name = names[i]
+		if cols[i].Kind == table.KindNull {
+			// All-NULL output columns default to TEXT, like the scalar path.
+			// Rebuild rather than retag: a KindNull column has no typed
+			// storage, so flipping Kind alone would break the storage
+			// invariant and crash later slices.
+			cols[i] = table.ColumnOf(names[i], table.KindString, cols[i].Values())
 		}
+		out.Columns = append(out.Columns, cols[i])
 	}
-	return resolved
+	return out
 }
 
-type projectedRow struct {
-	out  []table.Value
-	keys []table.Value // order-by keys
-}
+// --- grouping ---
 
-func buildOutput(name string, items []SelectItem, rows []projectedRow, order []OrderItem) *table.Table {
-	if len(order) > 0 {
-		sort.SliceStable(rows, func(a, b int) bool {
-			for k := range order {
-				c := table.Compare(rows[a].keys[k], rows[b].keys[k])
-				if c == 0 {
+type grp struct{ rows []int } // absolute row indexes into the relation
+
+// hashGroups partitions the selected rows by the key columns (which are
+// indexed by selection position). Group order follows first appearance.
+// Single typed int/string keys use typed hash maps; composite or mixed
+// keys fall back to canonical key strings, computed in parallel partitions.
+func hashGroups(keyCols []*table.Column, rel *vrel, sel []int) []*grp {
+	n := selLen(rel, sel)
+	var order []*grp
+
+	if len(keyCols) == 1 {
+		if is, nulls, ok := keyCols[0].Ints(); ok {
+			m := make(map[int64]*grp, 64)
+			var nullG *grp
+			for i := 0; i < n; i++ {
+				r := rowAt(sel, i)
+				if nulls[i] {
+					if nullG == nil {
+						nullG = &grp{}
+						order = append(order, nullG)
+					}
+					nullG.rows = append(nullG.rows, r)
 					continue
 				}
-				if order[k].Desc {
-					return c > 0
+				g := m[is[i]]
+				if g == nil {
+					g = &grp{}
+					m[is[i]] = g
+					order = append(order, g)
 				}
-				return c < 0
+				g.rows = append(g.rows, r)
 			}
-			return false
-		})
-	}
-	names := make([]string, len(items))
-	used := map[string]int{}
-	for i, it := range items {
-		n := it.OutputName()
-		key := strings.ToLower(n)
-		if c, dup := used[key]; dup {
-			used[key] = c + 1
-			n = fmt.Sprintf("%s_%d", n, c+1)
-		} else {
-			used[key] = 0
+			return order
 		}
-		names[i] = n
+		if ss, nulls, ok := keyCols[0].Strings(); ok {
+			m := make(map[string]*grp, 64)
+			var nullG *grp
+			for i := 0; i < n; i++ {
+				r := rowAt(sel, i)
+				if nulls[i] {
+					if nullG == nil {
+						nullG = &grp{}
+						order = append(order, nullG)
+					}
+					nullG.rows = append(nullG.rows, r)
+					continue
+				}
+				g := m[ss[i]]
+				if g == nil {
+					g = &grp{}
+					m[ss[i]] = g
+					order = append(order, g)
+				}
+				g.rows = append(g.rows, r)
+			}
+			return order
+		}
 	}
-	kinds := make([]table.Kind, len(items))
-	for i := range kinds {
-		kinds[i] = table.KindString
+
+	keys := make([]string, n)
+	computeKeys := func(lo, hi int) error {
+		var kb strings.Builder
+		for i := lo; i < hi; i++ {
+			kb.Reset()
+			for _, kc := range keyCols {
+				kb.WriteString(kc.Value(i).Key())
+				kb.WriteByte('\x1f')
+			}
+			keys[i] = kb.String()
+		}
+		return nil
+	}
+	if n >= 2*parallelMinRows {
+		parallelChunks(n, parallelMinRows, computeKeys) //nolint:errcheck // computeKeys cannot fail
+	} else {
+		computeKeys(0, n) //nolint:errcheck
+	}
+	m := make(map[string]*grp, 64)
+	for i := 0; i < n; i++ {
+		g := m[keys[i]]
+		if g == nil {
+			g = &grp{}
+			m[keys[i]] = g
+			order = append(order, g)
+		}
+		g.rows = append(g.rows, rowAt(sel, i))
+	}
+	return order
+}
+
+// vGroupEnv evaluates expressions against one group of the columnar
+// relation. Aggregates over bare columns run in typed loops.
+type vGroupEnv struct {
+	rel  *vrel
+	rows []int
+}
+
+func (e *vGroupEnv) resolveColumn(ref *ColumnRef) (table.Value, error) {
+	i := e.rel.findColumn(ref)
+	if i < 0 {
+		return table.Null(), errUnknownColumn(ref)
+	}
+	if len(e.rows) == 0 {
+		return table.Null(), nil
+	}
+	return e.rel.cols[i].Value(e.rows[0]), nil
+}
+
+func (e *vGroupEnv) resolveAggregate(fn *FuncCall) (table.Value, error) {
+	if fn.IsStar {
+		if fn.Name != "COUNT" {
+			return table.Null(), fmt.Errorf("sql: %s(*) is not supported", fn.Name)
+		}
+		return table.Int(int64(len(e.rows))), nil
+	}
+	if len(fn.Args) != 1 {
+		return table.Null(), fmt.Errorf("sql: aggregate %s expects one argument", fn.Name)
+	}
+	if ref, ok := fn.Args[0].(*ColumnRef); ok && !fn.Distinct {
+		i := e.rel.findColumn(ref)
+		if i < 0 {
+			return table.Null(), errUnknownColumn(ref)
+		}
+		return aggOverColumn(fn.Name, &e.rel.cols[i], e.rows)
+	}
+	// General case (expressions, DISTINCT): evaluate the argument per row.
+	var vals []table.Value
+	seen := map[string]bool{}
+	env := &vecRowEnv{rel: e.rel}
+	for _, ri := range e.rows {
+		env.row = ri
+		v, err := evalExpr(fn.Args[0], env)
+		if err != nil {
+			return table.Null(), err
+		}
+		if v.IsNull() {
+			continue
+		}
+		if fn.Distinct {
+			k := v.Key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+		}
+		vals = append(vals, v)
+	}
+	return finishAggregate(fn.Name, vals)
+}
+
+// aggOverColumn computes an aggregate over a bare column in typed loops,
+// without boxing each cell.
+func aggOverColumn(name string, col *table.Column, rows []int) (table.Value, error) {
+	switch name {
+	case "COUNT":
+		n := 0
 		for _, r := range rows {
-			if !r.out[i].IsNull() {
-				kinds[i] = r.out[i].Kind
-				break
+			if !col.IsNullAt(r) {
+				n++
 			}
 		}
+		return table.Int(int64(n)), nil
+	case "SUM", "AVG", "STDDEV", "MEDIAN":
+		return finishNumericAggregate(name, gatherFloats(col, rows)), nil
+	case "MIN", "MAX":
+		return minMaxOverColumn(name, col, rows), nil
 	}
-	out := &table.Table{Name: name}
-	for i := range items {
-		out.Columns = append(out.Columns, table.Column{Name: names[i], Kind: kinds[i]})
+	return table.Null(), fmt.Errorf("sql: unknown aggregate %s", name)
+}
+
+// gatherFloats extracts the float64 view of the non-NULL, numeric-
+// convertible cells at the given rows.
+func gatherFloats(col *table.Column, rows []int) []float64 {
+	out := make([]float64, 0, len(rows))
+	if fs, nulls, ok := col.Floats(); ok {
+		for _, r := range rows {
+			if !nulls[r] {
+				out = append(out, fs[r])
+			}
+		}
+		return out
+	}
+	if is, nulls, ok := col.Ints(); ok {
+		for _, r := range rows {
+			if !nulls[r] {
+				out = append(out, float64(is[r]))
+			}
+		}
+		return out
 	}
 	for _, r := range rows {
-		for j := range out.Columns {
-			out.Columns[j].Values = append(out.Columns[j].Values, r.out[j])
+		if f, ok := col.FloatAt(r); ok {
+			out = append(out, f)
 		}
 	}
 	return out
 }
 
-func (c *Catalog) executePlain(stmt *SelectStmt, rel *relation) (*table.Table, error) {
-	items := expandItems(stmt, rel)
-	order := orderExprs(stmt, items)
-	rows := make([]projectedRow, 0, len(rel.rows))
-	for _, row := range rel.rows {
-		ev := &rowEnv{rel: rel, row: row}
-		pr := projectedRow{out: make([]table.Value, len(items)), keys: make([]table.Value, len(order))}
-		for i, it := range items {
-			v, err := evalExpr(it.Expr, ev)
-			if err != nil {
-				return nil, err
-			}
-			pr.out[i] = v
-		}
-		for i, o := range order {
-			v, err := evalExpr(o.Expr, ev)
-			if err != nil {
-				return nil, err
-			}
-			pr.keys[i] = v
-		}
-		rows = append(rows, pr)
+func minMaxOverColumn(name string, col *table.Column, rows []int) table.Value {
+	want := -1 // MIN keeps values comparing below the best
+	if name == "MAX" {
+		want = 1
 	}
-	return buildOutput(stmt.From, items, rows, order), nil
+	if fs, nulls, ok := col.Floats(); ok {
+		best, found := 0.0, false
+		for _, r := range rows {
+			if nulls[r] {
+				continue
+			}
+			if !found || (want < 0 && fs[r] < best) || (want > 0 && fs[r] > best) {
+				best, found = fs[r], true
+			}
+		}
+		if !found {
+			return table.Null()
+		}
+		return table.Float(best)
+	}
+	if is, nulls, ok := col.Ints(); ok {
+		var best int64
+		found := false
+		for _, r := range rows {
+			if nulls[r] {
+				continue
+			}
+			if !found || (want < 0 && is[r] < best) || (want > 0 && is[r] > best) {
+				best, found = is[r], true
+			}
+		}
+		if !found {
+			return table.Null()
+		}
+		return table.Int(best)
+	}
+	best := table.Null()
+	for _, r := range rows {
+		if col.IsNullAt(r) {
+			continue
+		}
+		v := col.Value(r)
+		if best.IsNull() || table.Compare(v, best) == want {
+			best = v
+		}
+	}
+	return best
 }
 
-func (c *Catalog) executeGrouped(stmt *SelectStmt, rel *relation) (*table.Table, error) {
-	items := expandItems(stmt, rel)
+// executeGroupedVec groups the selected rows with a hash aggregator and
+// evaluates HAVING and the select list per group, in parallel across group
+// partitions for large inputs.
+func executeGroupedVec(stmt *SelectStmt, rel *vrel, sel []int) (*table.Table, error) {
+	items := expandItems(stmt, &rel.relSchema)
 	order := orderExprs(stmt, items)
+	n := selLen(rel, sel)
 
-	// Partition rows into groups by the GROUP BY key expressions.
-	type grp struct{ rows []int }
-	var keys []string
-	groups := map[string]*grp{}
-	for ri, row := range rel.rows {
-		ev := &rowEnv{rel: rel, row: row}
-		var kb strings.Builder
-		for _, g := range stmt.GroupBy {
-			v, err := evalExpr(g, ev)
-			if err != nil {
-				return nil, err
-			}
-			kb.WriteString(v.Key())
-			kb.WriteByte('\x1f')
+	keyCols := make([]*table.Column, len(stmt.GroupBy))
+	for i, g := range stmt.GroupBy {
+		col, err := evalVec(g, rel, sel)
+		if err != nil {
+			return nil, err
 		}
-		k := kb.String()
-		g, ok := groups[k]
-		if !ok {
-			g = &grp{}
-			groups[k] = g
-			keys = append(keys, k)
-		}
-		g.rows = append(g.rows, ri)
+		keyCols[i] = &col
 	}
+	groups := hashGroups(keyCols, rel, sel)
 	// Global aggregates over zero rows still produce one group.
-	if len(stmt.GroupBy) == 0 && len(keys) == 0 {
-		groups[""] = &grp{}
-		keys = append(keys, "")
+	if len(stmt.GroupBy) == 0 && len(groups) == 0 {
+		groups = append(groups, &grp{})
 	}
 
-	rows := make([]projectedRow, 0, len(keys))
-	for _, k := range keys {
-		g := groups[k]
-		ev := &groupEnv{rel: rel, rows: g.rows}
+	type groupOut struct {
+		include bool
+		pr      projectedRow
+	}
+	outs := make([]groupOut, len(groups))
+	evalGroup := func(gi int) error {
+		ev := &vGroupEnv{rel: rel, rows: groups[gi].rows}
 		if stmt.Having != nil {
 			hv, err := evalExpr(stmt.Having, ev)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if b, ok := hv.AsBool(); !ok || !b {
-				continue
+				return nil
 			}
 		}
 		pr := projectedRow{out: make([]table.Value, len(items)), keys: make([]table.Value, len(order))}
 		for i, it := range items {
 			v, err := evalExpr(it.Expr, ev)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			pr.out[i] = v
 		}
 		for i, o := range order {
 			v, err := evalExpr(o.Expr, ev)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			pr.keys[i] = v
 		}
-		rows = append(rows, pr)
+		outs[gi] = groupOut{include: true, pr: pr}
+		return nil
+	}
+
+	var err error
+	if n >= parallelMinRows && len(groups) > 1 {
+		err = parallelChunks(len(groups), 1, func(lo, hi int) error {
+			for gi := lo; gi < hi; gi++ {
+				if err := evalGroup(gi); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	} else {
+		for gi := range groups {
+			if err = evalGroup(gi); err != nil {
+				break
+			}
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	rows := make([]projectedRow, 0, len(groups))
+	for _, g := range outs {
+		if g.include {
+			rows = append(rows, g.pr)
+		}
 	}
 	return buildOutput(stmt.From, items, rows, order), nil
 }

@@ -1,0 +1,74 @@
+package sqlengine
+
+import (
+	"runtime"
+	"sync"
+)
+
+// The engine shares one bounded worker pool across all queries: a semaphore
+// sized to GOMAXPROCS. Scan and aggregate partitions acquire a slot to run
+// on a separate goroutine; when the pool is saturated (e.g. many concurrent
+// Platform.Ask callers) partitions degrade gracefully to running inline on
+// the caller's goroutine, so total engine parallelism stays bounded no
+// matter how many queries are in flight.
+var workerSem = make(chan struct{}, runtime.GOMAXPROCS(0))
+
+// parallelMinRows is the selection size below which the executor stays
+// serial: goroutine handoff costs more than the scan itself.
+const parallelMinRows = 4096
+
+// parallelChunks splits [0, n) into at most GOMAXPROCS contiguous chunks of
+// at least minChunk elements and runs fn on each, returning the first error.
+// fn must only write to per-chunk (disjoint) state. Chunks run on pool
+// workers when slots are free and inline otherwise; with one chunk the call
+// is plain function invocation.
+func parallelChunks(n, minChunk int, fn func(lo, hi int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if minChunk < 1 {
+		minChunk = 1
+	}
+	nchunks := n / minChunk
+	if max := cap(workerSem); nchunks > max {
+		nchunks = max
+	}
+	if nchunks <= 1 {
+		return fn(0, n)
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	record := func(err error) {
+		if err == nil {
+			return
+		}
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	size := (n + nchunks - 1) / nchunks
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		select {
+		case workerSem <- struct{}{}:
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				defer func() { <-workerSem }()
+				record(fn(lo, hi))
+			}(lo, hi)
+		default:
+			record(fn(lo, hi))
+		}
+	}
+	wg.Wait()
+	return firstErr
+}

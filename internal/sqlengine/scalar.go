@@ -1,0 +1,419 @@
+package sqlengine
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"datalab/internal/table"
+)
+
+// Scalar (row-at-a-time) reference executor. This is the seed engine's
+// original execution strategy, kept intact behind Catalog.QueryScalar: it
+// materializes row-major relations and walks the expression tree once per
+// row. The vectorized executor in exec.go/vector.go is differentially
+// tested against it (see vector_test.go) and benchmarked against it in the
+// repo root's bench_test.go.
+
+// srel is the scalar executor's working representation: shared column
+// metadata plus row-major values.
+type srel struct {
+	relSchema
+	rows [][]table.Value
+}
+
+func srelFrom(t *table.Table, qual string) *srel {
+	r := &srel{relSchema: schemaFrom(t, qual)}
+	n := t.NumRows()
+	r.rows = make([][]table.Value, n)
+	for i := 0; i < n; i++ {
+		r.rows[i] = t.Row(i)
+	}
+	return r
+}
+
+// rowEnv evaluates expressions against one relation row.
+type rowEnv struct {
+	rel *srel
+	row []table.Value
+}
+
+func (e *rowEnv) resolveColumn(ref *ColumnRef) (table.Value, error) {
+	i := e.rel.findColumn(ref)
+	if i < 0 {
+		return table.Null(), errUnknownColumn(ref)
+	}
+	return e.row[i], nil
+}
+
+func (e *rowEnv) resolveAggregate(fn *FuncCall) (table.Value, error) {
+	return table.Null(), errAggInRowContext(fn)
+}
+
+// groupEnv evaluates expressions against one group: plain columns resolve
+// from the group's first row, aggregates compute over all group rows.
+type groupEnv struct {
+	rel  *srel
+	rows []int // indexes into rel.rows
+}
+
+func (e *groupEnv) resolveColumn(ref *ColumnRef) (table.Value, error) {
+	i := e.rel.findColumn(ref)
+	if i < 0 {
+		return table.Null(), errUnknownColumn(ref)
+	}
+	if len(e.rows) == 0 {
+		return table.Null(), nil
+	}
+	return e.rel.rows[e.rows[0]][i], nil
+}
+
+func (e *groupEnv) resolveAggregate(fn *FuncCall) (table.Value, error) {
+	if fn.IsStar {
+		if fn.Name != "COUNT" {
+			return table.Null(), fmt.Errorf("sql: %s(*) is not supported", fn.Name)
+		}
+		return table.Int(int64(len(e.rows))), nil
+	}
+	if len(fn.Args) != 1 {
+		return table.Null(), fmt.Errorf("sql: aggregate %s expects one argument", fn.Name)
+	}
+	var vals []table.Value
+	seen := map[string]bool{}
+	for _, ri := range e.rows {
+		re := &rowEnv{rel: e.rel, row: e.rel.rows[ri]}
+		v, err := evalExpr(fn.Args[0], re)
+		if err != nil {
+			return table.Null(), err
+		}
+		if v.IsNull() {
+			continue
+		}
+		if fn.Distinct {
+			k := v.Key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+		}
+		vals = append(vals, v)
+	}
+	return finishAggregate(fn.Name, vals)
+}
+
+// finishAggregate reduces the non-NULL values of one group to the aggregate
+// result, shared by the scalar and vectorized fallback paths.
+func finishAggregate(name string, vals []table.Value) (table.Value, error) {
+	switch name {
+	case "COUNT":
+		return table.Int(int64(len(vals))), nil
+	case "SUM", "AVG", "STDDEV", "MEDIAN":
+		var nums []float64
+		for _, v := range vals {
+			if f, ok := v.AsFloat(); ok {
+				nums = append(nums, f)
+			}
+		}
+		return finishNumericAggregate(name, nums), nil
+	case "MIN", "MAX":
+		if len(vals) == 0 {
+			return table.Null(), nil
+		}
+		best := vals[0]
+		for _, v := range vals[1:] {
+			c := table.Compare(v, best)
+			if (name == "MIN" && c < 0) || (name == "MAX" && c > 0) {
+				best = v
+			}
+		}
+		return best, nil
+	}
+	return table.Null(), fmt.Errorf("sql: unknown aggregate %s", name)
+}
+
+// finishNumericAggregate computes the float-valued aggregates over the
+// convertible values of one group.
+func finishNumericAggregate(name string, nums []float64) table.Value {
+	if len(nums) == 0 {
+		return table.Null()
+	}
+	var total float64
+	for _, f := range nums {
+		total += f
+	}
+	switch name {
+	case "SUM":
+		return table.Float(total)
+	case "AVG":
+		return table.Float(total / float64(len(nums)))
+	case "STDDEV":
+		if len(nums) < 2 {
+			return table.Float(0)
+		}
+		mean := total / float64(len(nums))
+		var ss float64
+		for _, f := range nums {
+			d := f - mean
+			ss += d * d
+		}
+		return table.Float(math.Sqrt(ss / float64(len(nums)-1)))
+	case "MEDIAN":
+		cp := append([]float64(nil), nums...)
+		sort.Float64s(cp)
+		n := len(cp)
+		if n%2 == 1 {
+			return table.Float(cp[n/2])
+		}
+		return table.Float((cp[n/2-1] + cp[n/2]) / 2)
+	}
+	return table.Null()
+}
+
+// QueryScalar parses and executes a SELECT with the scalar reference
+// executor.
+func (c *Catalog) QueryScalar(sql string) (*table.Table, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return c.ExecuteScalar(stmt)
+}
+
+// ExecuteScalar runs a parsed statement with the row-at-a-time reference
+// path.
+func (c *Catalog) ExecuteScalar(stmt *SelectStmt) (*table.Table, error) {
+	base, ok := c.Table(stmt.From)
+	if !ok {
+		return nil, fmt.Errorf("sql: unknown table %q", stmt.From)
+	}
+	qual := stmt.From
+	if stmt.FromAs != "" {
+		qual = stmt.FromAs
+	}
+	rel := srelFrom(base, qual)
+
+	for _, j := range stmt.Joins {
+		rt, ok := c.Table(j.Table)
+		if !ok {
+			return nil, fmt.Errorf("sql: unknown table %q", j.Table)
+		}
+		jq := j.Table
+		if j.Alias != "" {
+			jq = j.Alias
+		}
+		var err error
+		rel, err = joinRelationsScalar(rel, srelFrom(rt, jq), j)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if stmt.Where != nil {
+		var kept [][]table.Value
+		for _, row := range rel.rows {
+			v, err := evalExpr(stmt.Where, &rowEnv{rel: rel, row: row})
+			if err != nil {
+				return nil, err
+			}
+			if b, ok := v.AsBool(); ok && b {
+				kept = append(kept, row)
+			}
+		}
+		rel.rows = kept
+	}
+
+	grouped := len(stmt.GroupBy) > 0 || stmt.Having != nil || selectHasAggregate(stmt)
+	var out *table.Table
+	var err error
+	if grouped {
+		out, err = executeGroupedScalar(stmt, rel)
+	} else {
+		out, err = executePlainScalar(stmt, rel)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return applyDistinctOffsetLimit(stmt, out), nil
+}
+
+// joinRelationsScalar nested-loop joins left and right with the ON
+// predicate, evaluated for every row pair.
+func joinRelationsScalar(left, right *srel, j JoinClause) (*srel, error) {
+	out := &srel{relSchema: concatSchemas(&left.relSchema, &right.relSchema)}
+	nullsRight := make([]table.Value, len(right.names))
+	for _, lrow := range left.rows {
+		matched := false
+		for _, rrow := range right.rows {
+			combined := append(append([]table.Value{}, lrow...), rrow...)
+			v, err := evalExpr(j.On, &rowEnv{rel: out, row: combined})
+			if err != nil {
+				return nil, err
+			}
+			if b, ok := v.AsBool(); ok && b {
+				matched = true
+				out.rows = append(out.rows, combined)
+			}
+		}
+		if !matched && j.Kind == table.JoinLeft {
+			out.rows = append(out.rows, append(append([]table.Value{}, lrow...), nullsRight...))
+		}
+	}
+	return out, nil
+}
+
+type projectedRow struct {
+	out  []table.Value
+	keys []table.Value // order-by keys
+}
+
+func buildOutput(name string, items []SelectItem, rows []projectedRow, order []OrderItem) *table.Table {
+	if len(order) > 0 {
+		sort.SliceStable(rows, func(a, b int) bool {
+			for k := range order {
+				c := table.Compare(rows[a].keys[k], rows[b].keys[k])
+				if c == 0 {
+					continue
+				}
+				if order[k].Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+	}
+	names := outputNames(items)
+	kinds := make([]table.Kind, len(items))
+	for i := range kinds {
+		kinds[i] = table.KindString
+		for _, r := range rows {
+			if !r.out[i].IsNull() {
+				kinds[i] = r.out[i].Kind
+				break
+			}
+		}
+	}
+	out := &table.Table{Name: name}
+	for i := range items {
+		col := table.NewColumn(names[i], kinds[i])
+		col.Grow(len(rows))
+		for _, r := range rows {
+			col.Append(r.out[i])
+		}
+		out.Columns = append(out.Columns, col)
+	}
+	return out
+}
+
+// outputNames resolves display names for the select items, deduplicating
+// case-insensitive collisions with _N suffixes.
+func outputNames(items []SelectItem) []string {
+	names := make([]string, len(items))
+	used := map[string]int{}
+	for i, it := range items {
+		n := it.OutputName()
+		key := strings.ToLower(n)
+		if c, dup := used[key]; dup {
+			used[key] = c + 1
+			n = fmt.Sprintf("%s_%d", n, c+1)
+		} else {
+			used[key] = 0
+		}
+		names[i] = n
+	}
+	return names
+}
+
+func executePlainScalar(stmt *SelectStmt, rel *srel) (*table.Table, error) {
+	items := expandItems(stmt, &rel.relSchema)
+	order := orderExprs(stmt, items)
+	rows := make([]projectedRow, 0, len(rel.rows))
+	for _, row := range rel.rows {
+		ev := &rowEnv{rel: rel, row: row}
+		pr := projectedRow{out: make([]table.Value, len(items)), keys: make([]table.Value, len(order))}
+		for i, it := range items {
+			v, err := evalExpr(it.Expr, ev)
+			if err != nil {
+				return nil, err
+			}
+			pr.out[i] = v
+		}
+		for i, o := range order {
+			v, err := evalExpr(o.Expr, ev)
+			if err != nil {
+				return nil, err
+			}
+			pr.keys[i] = v
+		}
+		rows = append(rows, pr)
+	}
+	return buildOutput(stmt.From, items, rows, order), nil
+}
+
+func executeGroupedScalar(stmt *SelectStmt, rel *srel) (*table.Table, error) {
+	items := expandItems(stmt, &rel.relSchema)
+	order := orderExprs(stmt, items)
+
+	// Partition rows into groups by the GROUP BY key expressions.
+	type grp struct{ rows []int }
+	var keys []string
+	groups := map[string]*grp{}
+	for ri, row := range rel.rows {
+		ev := &rowEnv{rel: rel, row: row}
+		var kb strings.Builder
+		for _, g := range stmt.GroupBy {
+			v, err := evalExpr(g, ev)
+			if err != nil {
+				return nil, err
+			}
+			kb.WriteString(v.Key())
+			kb.WriteByte('\x1f')
+		}
+		k := kb.String()
+		g, ok := groups[k]
+		if !ok {
+			g = &grp{}
+			groups[k] = g
+			keys = append(keys, k)
+		}
+		g.rows = append(g.rows, ri)
+	}
+	// Global aggregates over zero rows still produce one group.
+	if len(stmt.GroupBy) == 0 && len(keys) == 0 {
+		groups[""] = &grp{}
+		keys = append(keys, "")
+	}
+
+	rows := make([]projectedRow, 0, len(keys))
+	for _, k := range keys {
+		g := groups[k]
+		ev := &groupEnv{rel: rel, rows: g.rows}
+		if stmt.Having != nil {
+			hv, err := evalExpr(stmt.Having, ev)
+			if err != nil {
+				return nil, err
+			}
+			if b, ok := hv.AsBool(); !ok || !b {
+				continue
+			}
+		}
+		pr := projectedRow{out: make([]table.Value, len(items)), keys: make([]table.Value, len(order))}
+		for i, it := range items {
+			v, err := evalExpr(it.Expr, ev)
+			if err != nil {
+				return nil, err
+			}
+			pr.out[i] = v
+		}
+		for i, o := range order {
+			v, err := evalExpr(o.Expr, ev)
+			if err != nil {
+				return nil, err
+			}
+			pr.keys[i] = v
+		}
+		rows = append(rows, pr)
+	}
+	return buildOutput(stmt.From, items, rows, order), nil
+}

@@ -1,0 +1,616 @@
+package sqlengine
+
+import (
+	"math"
+	"strings"
+
+	"datalab/internal/table"
+)
+
+// Vectorized expression evaluation: expressions are computed over whole
+// column vectors (optionally restricted by a selection vector) in tight
+// typed loops, instead of row-at-a-time tree walks. Any expression shape
+// the vectorized paths do not cover falls back to a per-row loop around the
+// scalar evaluator, so the two paths agree on results; the scalar evaluator
+// itself remains available through Catalog.QueryScalar as the reference
+// implementation for differential tests. The few deliberate divergences
+// (error propagation in hash joins that skip non-matching pairs, natural
+// kinds on empty outputs) are documented in docs/ARCHITECTURE.md.
+
+// selLen returns the number of selected rows (sel == nil means all rows).
+func selLen(rel *vrel, sel []int) int {
+	if sel == nil {
+		return rel.nrows
+	}
+	return len(sel)
+}
+
+// rowAt maps a position in the selection to an absolute row index.
+func rowAt(sel []int, i int) int {
+	if sel == nil {
+		return i
+	}
+	return sel[i]
+}
+
+// evalVec evaluates e over the selected rows of rel, returning a column of
+// length selLen(rel, sel). Columns returned for bare column references with
+// a nil selection share storage with rel and must be treated as read-only.
+func evalVec(e Expr, rel *vrel, sel []int) (table.Column, error) {
+	n := selLen(rel, sel)
+	switch x := e.(type) {
+	case *Literal:
+		return constColumn(x.Value, n), nil
+	case *ColumnRef:
+		i := rel.findColumn(x)
+		if i < 0 {
+			return table.Column{}, errUnknownColumn(x)
+		}
+		if sel == nil {
+			return rel.cols[i], nil
+		}
+		return rel.cols[i].Gather(sel), nil
+	case *Binary:
+		return evalVecBinary(x, rel, sel)
+	case *Unary:
+		return evalVecUnary(x, rel, sel)
+	case *IsNull:
+		col, err := evalVec(x.X, rel, sel)
+		if err != nil {
+			return table.Column{}, err
+		}
+		out := make([]bool, n)
+		for i := 0; i < n; i++ {
+			out[i] = col.IsNullAt(i) != x.Not
+		}
+		return table.ColumnFromBools("", out, nil), nil
+	case *Between:
+		if col, ok, err := evalVecBetween(x, rel, sel); ok || err != nil {
+			return col, err
+		}
+		return rowFallback(e, rel, sel)
+	case *In:
+		if col, ok, err := evalVecIn(x, rel, sel); ok || err != nil {
+			return col, err
+		}
+		return rowFallback(e, rel, sel)
+	default:
+		// CASE, scalar functions, aggregates-in-row-context (error), Star.
+		return rowFallback(e, rel, sel)
+	}
+}
+
+// rowFallback evaluates e row-at-a-time with the scalar evaluator over the
+// columnar relation. It preserves scalar semantics exactly (including
+// short-circuit error behaviour within the expression).
+func rowFallback(e Expr, rel *vrel, sel []int) (table.Column, error) {
+	n := selLen(rel, sel)
+	vals := make([]table.Value, n)
+	kind := table.KindNull
+	env := &vecRowEnv{rel: rel}
+	for i := 0; i < n; i++ {
+		env.row = rowAt(sel, i)
+		v, err := evalExpr(e, env)
+		if err != nil {
+			return table.Column{}, err
+		}
+		if kind == table.KindNull && !v.IsNull() {
+			kind = v.Kind
+		}
+		vals[i] = v
+	}
+	return table.ColumnOf("", kind, vals), nil
+}
+
+// vecRowEnv adapts the columnar relation to the scalar evaluator's env.
+type vecRowEnv struct {
+	rel *vrel
+	row int
+}
+
+func (e *vecRowEnv) resolveColumn(ref *ColumnRef) (table.Value, error) {
+	i := e.rel.findColumn(ref)
+	if i < 0 {
+		return table.Null(), errUnknownColumn(ref)
+	}
+	return e.rel.cols[i].Value(e.row), nil
+}
+
+func (e *vecRowEnv) resolveAggregate(fn *FuncCall) (table.Value, error) {
+	return table.Null(), errAggInRowContext(fn)
+}
+
+// constColumn materializes a literal as a constant vector.
+func constColumn(v table.Value, n int) table.Column {
+	switch v.Kind {
+	case table.KindInt:
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = v.I
+		}
+		return table.ColumnFromInts("", vals, nil)
+	case table.KindFloat:
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = v.F
+		}
+		return table.ColumnFromFloats("", vals, nil)
+	case table.KindString:
+		vals := make([]string, n)
+		for i := range vals {
+			vals[i] = v.S
+		}
+		return table.ColumnFromStrings("", vals, nil)
+	case table.KindBool:
+		vals := make([]bool, n)
+		for i := range vals {
+			vals[i] = v.B
+		}
+		return table.ColumnFromBools("", vals, nil)
+	default:
+		vals := make([]table.Value, n)
+		for i := range vals {
+			vals[i] = v
+		}
+		return table.ColumnOf("", v.Kind, vals)
+	}
+}
+
+// asFloats views a column as float64s when it is typed numeric (int or
+// float). The returned slice is fresh for int columns and shared for float
+// columns; callers must not mutate it.
+func asFloats(c *table.Column) ([]float64, []bool, bool) {
+	if fs, nulls, ok := c.Floats(); ok {
+		return fs, nulls, true
+	}
+	if is, nulls, ok := c.Ints(); ok {
+		fs := make([]float64, len(is))
+		for i, v := range is {
+			fs[i] = float64(v)
+		}
+		return fs, nulls, true
+	}
+	return nil, nil, false
+}
+
+func evalVecUnary(x *Unary, rel *vrel, sel []int) (table.Column, error) {
+	col, err := evalVec(x.X, rel, sel)
+	if err != nil {
+		return table.Column{}, err
+	}
+	switch x.Op {
+	case "NOT":
+		if bs, nulls, ok := col.Bools(); ok {
+			out := make([]bool, len(bs))
+			outNulls := make([]bool, len(bs))
+			for i := range bs {
+				out[i] = !bs[i]
+				outNulls[i] = nulls[i]
+			}
+			return table.ColumnFromBools("", out, outNulls), nil
+		}
+	case "-":
+		if is, nulls, ok := col.Ints(); ok {
+			out := make([]int64, len(is))
+			for i := range is {
+				out[i] = -is[i]
+			}
+			return table.ColumnFromInts("", out, copyBools(nulls)), nil
+		}
+		if fs, nulls, ok := col.Floats(); ok {
+			out := make([]float64, len(fs))
+			for i := range fs {
+				out[i] = -fs[i]
+			}
+			return table.ColumnFromFloats("", out, copyBools(nulls)), nil
+		}
+	}
+	return rowFallback(x, rel, sel)
+}
+
+func copyBools(b []bool) []bool {
+	return append([]bool(nil), b...)
+}
+
+func evalVecBinary(b *Binary, rel *vrel, sel []int) (table.Column, error) {
+	switch b.Op {
+	case "AND", "OR":
+		return evalVecLogic(b, rel, sel)
+	case "=", "<>", "<", "<=", ">", ">=":
+		return evalVecCompare(b, rel, sel)
+	case "+", "-", "*", "/", "%":
+		return evalVecArith(b, rel, sel)
+	case "LIKE":
+		return evalVecLike(b, rel, sel)
+	case "||":
+		return evalVecConcat(b, rel, sel)
+	}
+	return rowFallback(b, rel, sel)
+}
+
+// evalVecLogic vectorizes AND/OR with three-valued logic. Both operands are
+// evaluated for all rows; if the right side errors (the scalar evaluator
+// might have short-circuited past the failing row), the whole node falls
+// back to the row-at-a-time path, which short-circuits identically.
+func evalVecLogic(b *Binary, rel *vrel, sel []int) (table.Column, error) {
+	lcol, err := evalVec(b.L, rel, sel)
+	if err != nil {
+		return table.Column{}, err
+	}
+	rcol, err := evalVec(b.R, rel, sel)
+	if err != nil {
+		return rowFallback(b, rel, sel)
+	}
+	n := selLen(rel, sel)
+	lb, lknown := truthVec(&lcol, n)
+	rb, rknown := truthVec(&rcol, n)
+	out := make([]bool, n)
+	nulls := make([]bool, n)
+	and := b.Op == "AND"
+	for i := 0; i < n; i++ {
+		switch {
+		case and && lknown[i] && !lb[i]:
+			out[i] = false
+		case !and && lknown[i] && lb[i]:
+			out[i] = true
+		case lknown[i] && rknown[i]:
+			if and {
+				out[i] = lb[i] && rb[i]
+			} else {
+				out[i] = lb[i] || rb[i]
+			}
+		case and && rknown[i] && !rb[i]:
+			out[i] = false
+		case !and && rknown[i] && rb[i]:
+			out[i] = true
+		default:
+			nulls[i] = true
+		}
+	}
+	return table.ColumnFromBools("", out, nulls), nil
+}
+
+// truthVec converts a column to truth values: known[i] is false where the
+// cell is NULL or not interpretable as a boolean (matching Value.AsBool).
+func truthVec(c *table.Column, n int) (b, known []bool) {
+	if bs, nulls, ok := c.Bools(); ok {
+		known = make([]bool, n)
+		for i := range nulls {
+			known[i] = !nulls[i]
+		}
+		return bs, known
+	}
+	b = make([]bool, n)
+	known = make([]bool, n)
+	for i := 0; i < n; i++ {
+		v := c.Value(i)
+		if v.IsNull() {
+			continue
+		}
+		if bv, ok := v.AsBool(); ok {
+			b[i], known[i] = bv, true
+		}
+	}
+	return b, known
+}
+
+func evalVecCompare(b *Binary, rel *vrel, sel []int) (table.Column, error) {
+	lcol, err := evalVec(b.L, rel, sel)
+	if err != nil {
+		return table.Column{}, err
+	}
+	rcol, err := evalVec(b.R, rel, sel)
+	if err != nil {
+		return table.Column{}, err
+	}
+	n := selLen(rel, sel)
+	out := make([]bool, n)
+	nulls := make([]bool, n)
+
+	apply := func(cmp func(i int) int, lnulls, rnulls []bool) table.Column {
+		for i := 0; i < n; i++ {
+			if lnulls[i] || rnulls[i] {
+				nulls[i] = true
+				continue
+			}
+			c := cmp(i)
+			switch b.Op {
+			case "=":
+				out[i] = c == 0
+			case "<>":
+				out[i] = c != 0
+			case "<":
+				out[i] = c < 0
+			case "<=":
+				out[i] = c <= 0
+			case ">":
+				out[i] = c > 0
+			case ">=":
+				out[i] = c >= 0
+			}
+		}
+		return table.ColumnFromBools("", out, nulls)
+	}
+
+	// int = int stays in int64 (exact); any other numeric pair compares as
+	// float64, mirroring table.Compare for numeric kinds.
+	if li, lnulls, ok := lcol.Ints(); ok {
+		if ri, rnulls, ok2 := rcol.Ints(); ok2 {
+			return apply(func(i int) int {
+				switch {
+				case li[i] < ri[i]:
+					return -1
+				case li[i] > ri[i]:
+					return 1
+				}
+				return 0
+			}, lnulls, rnulls), nil
+		}
+	}
+	if lf, lnulls, ok := asFloats(&lcol); ok {
+		if rf, rnulls, ok2 := asFloats(&rcol); ok2 {
+			return apply(func(i int) int {
+				switch {
+				case lf[i] < rf[i]:
+					return -1
+				case lf[i] > rf[i]:
+					return 1
+				}
+				return 0
+			}, lnulls, rnulls), nil
+		}
+	}
+	if ls, lnulls, ok := lcol.Strings(); ok {
+		if rs, rnulls, ok2 := rcol.Strings(); ok2 {
+			return apply(func(i int) int {
+				return strings.Compare(ls[i], rs[i])
+			}, lnulls, rnulls), nil
+		}
+	}
+	if lt, lnulls, ok := lcol.Times(); ok {
+		if rt, rnulls, ok2 := rcol.Times(); ok2 {
+			return apply(func(i int) int {
+				switch {
+				case lt[i].Before(rt[i]):
+					return -1
+				case lt[i].After(rt[i]):
+					return 1
+				}
+				return 0
+			}, lnulls, rnulls), nil
+		}
+	}
+	return rowFallback(b, rel, sel)
+}
+
+func evalVecArith(b *Binary, rel *vrel, sel []int) (table.Column, error) {
+	lcol, err := evalVec(b.L, rel, sel)
+	if err != nil {
+		return table.Column{}, err
+	}
+	rcol, err := evalVec(b.R, rel, sel)
+	if err != nil {
+		return table.Column{}, err
+	}
+	n := selLen(rel, sel)
+
+	// int op int keeps integer arithmetic (except /, which is float).
+	if li, lnulls, ok := lcol.Ints(); ok && b.Op != "/" {
+		if ri, rnulls, ok2 := rcol.Ints(); ok2 {
+			out := make([]int64, n)
+			nulls := make([]bool, n)
+			for i := 0; i < n; i++ {
+				if lnulls[i] || rnulls[i] {
+					nulls[i] = true
+					continue
+				}
+				switch b.Op {
+				case "+":
+					out[i] = li[i] + ri[i]
+				case "-":
+					out[i] = li[i] - ri[i]
+				case "*":
+					out[i] = li[i] * ri[i]
+				case "%":
+					if ri[i] == 0 {
+						nulls[i] = true
+					} else {
+						out[i] = li[i] % ri[i]
+					}
+				}
+			}
+			return table.ColumnFromInts("", out, nulls), nil
+		}
+	}
+	lf, lnulls, lok := asFloats(&lcol)
+	rf, rnulls, rok := asFloats(&rcol)
+	if lok && rok {
+		out := make([]float64, n)
+		nulls := make([]bool, n)
+		for i := 0; i < n; i++ {
+			if lnulls[i] || rnulls[i] {
+				nulls[i] = true
+				continue
+			}
+			switch b.Op {
+			case "+":
+				out[i] = lf[i] + rf[i]
+			case "-":
+				out[i] = lf[i] - rf[i]
+			case "*":
+				out[i] = lf[i] * rf[i]
+			case "/":
+				if rf[i] == 0 {
+					nulls[i] = true
+				} else {
+					out[i] = lf[i] / rf[i]
+				}
+			case "%":
+				if rf[i] == 0 {
+					nulls[i] = true
+				} else {
+					out[i] = math.Mod(lf[i], rf[i])
+				}
+			}
+		}
+		return table.ColumnFromFloats("", out, nulls), nil
+	}
+	return rowFallback(b, rel, sel)
+}
+
+func evalVecLike(b *Binary, rel *vrel, sel []int) (table.Column, error) {
+	lit, ok := b.R.(*Literal)
+	if !ok || lit.Value.Kind != table.KindString {
+		return rowFallback(b, rel, sel)
+	}
+	lcol, err := evalVec(b.L, rel, sel)
+	if err != nil {
+		return table.Column{}, err
+	}
+	ls, lnulls, ok := lcol.Strings()
+	if !ok {
+		return rowFallback(b, rel, sel)
+	}
+	pattern := strings.ToLower(lit.Value.S)
+	n := selLen(rel, sel)
+	out := make([]bool, n)
+	nulls := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if lnulls[i] {
+			nulls[i] = true
+			continue
+		}
+		out[i] = likeRec(strings.ToLower(ls[i]), pattern)
+	}
+	return table.ColumnFromBools("", out, nulls), nil
+}
+
+func evalVecConcat(b *Binary, rel *vrel, sel []int) (table.Column, error) {
+	lcol, err := evalVec(b.L, rel, sel)
+	if err != nil {
+		return table.Column{}, err
+	}
+	rcol, err := evalVec(b.R, rel, sel)
+	if err != nil {
+		return table.Column{}, err
+	}
+	ls, lnulls, lok := lcol.Strings()
+	rs, rnulls, rok := rcol.Strings()
+	if !lok || !rok {
+		return rowFallback(b, rel, sel)
+	}
+	n := selLen(rel, sel)
+	out := make([]string, n)
+	nulls := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if lnulls[i] || rnulls[i] {
+			nulls[i] = true
+			continue
+		}
+		out[i] = ls[i] + rs[i]
+	}
+	return table.ColumnFromStrings("", out, nulls), nil
+}
+
+// evalVecBetween vectorizes X BETWEEN lo AND hi for numeric X with non-NULL
+// numeric literal bounds. ok=false means the caller should fall back.
+func evalVecBetween(x *Between, rel *vrel, sel []int) (table.Column, bool, error) {
+	loLit, ok1 := x.Lo.(*Literal)
+	hiLit, ok2 := x.Hi.(*Literal)
+	if !ok1 || !ok2 {
+		return table.Column{}, false, nil
+	}
+	lo, lok := loLit.Value.AsFloat()
+	hi, hok := hiLit.Value.AsFloat()
+	if !lok || !hok || !isNumericLit(loLit.Value) || !isNumericLit(hiLit.Value) {
+		return table.Column{}, false, nil
+	}
+	col, err := evalVec(x.X, rel, sel)
+	if err != nil {
+		return table.Column{}, true, err
+	}
+	fs, nullsIn, ok := asFloats(&col)
+	if !ok {
+		return table.Column{}, false, nil
+	}
+	n := selLen(rel, sel)
+	out := make([]bool, n)
+	nulls := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if nullsIn[i] {
+			nulls[i] = true
+			continue
+		}
+		in := fs[i] >= lo && fs[i] <= hi
+		out[i] = in != x.Not
+	}
+	return table.ColumnFromBools("", out, nulls), true, nil
+}
+
+func isNumericLit(v table.Value) bool {
+	return v.Kind == table.KindInt || v.Kind == table.KindFloat
+}
+
+// evalVecIn vectorizes X IN (literals...) when X is typed numeric with an
+// all-numeric list, or typed string with an all-string list. Mixed-kind
+// membership (which compares through table.Equal's lenient rules) falls
+// back. NULL list entries are ignored, matching the scalar evaluator.
+func evalVecIn(x *In, rel *vrel, sel []int) (table.Column, bool, error) {
+	lits := make([]table.Value, 0, len(x.Values))
+	for _, cand := range x.Values {
+		lit, ok := cand.(*Literal)
+		if !ok {
+			return table.Column{}, false, nil
+		}
+		if lit.Value.IsNull() {
+			continue
+		}
+		lits = append(lits, lit.Value)
+	}
+	col, err := evalVec(x.X, rel, sel)
+	if err != nil {
+		return table.Column{}, true, err
+	}
+	n := selLen(rel, sel)
+
+	if fs, nullsIn, ok := asFloats(&col); ok {
+		set := make(map[float64]bool, len(lits))
+		for _, v := range lits {
+			if !isNumericLit(v) {
+				return table.Column{}, false, nil
+			}
+			f, _ := v.AsFloat()
+			set[f] = true
+		}
+		out := make([]bool, n)
+		nulls := make([]bool, n)
+		for i := 0; i < n; i++ {
+			if nullsIn[i] {
+				nulls[i] = true
+				continue
+			}
+			out[i] = set[fs[i]] != x.Not
+		}
+		return table.ColumnFromBools("", out, nulls), true, nil
+	}
+	if ss, nullsIn, ok := col.Strings(); ok {
+		set := make(map[string]bool, len(lits))
+		for _, v := range lits {
+			if v.Kind != table.KindString {
+				return table.Column{}, false, nil
+			}
+			set[v.S] = true
+		}
+		out := make([]bool, n)
+		nulls := make([]bool, n)
+		for i := 0; i < n; i++ {
+			if nullsIn[i] {
+				nulls[i] = true
+				continue
+			}
+			out[i] = set[ss[i]] != x.Not
+		}
+		return table.ColumnFromBools("", out, nulls), true, nil
+	}
+	return table.Column{}, false, nil
+}

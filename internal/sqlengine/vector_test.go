@@ -1,0 +1,334 @@
+package sqlengine
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"datalab/internal/table"
+)
+
+// dumpTable renders a table as column names plus canonical cell keys, for
+// strict (ordered) result comparison between the two executors.
+func dumpTable(t *table.Table) string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(t.ColumnNames(), "|"))
+	sb.WriteByte('\n')
+	for i, n := 0, t.NumRows(); i < n; i++ {
+		for j := range t.Columns {
+			sb.WriteString(t.Columns[j].Value(i).Key())
+			sb.WriteByte('|')
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// checkDifferential runs one query through both executors and fails on any
+// mismatch in error status, column names, row order, or cell values.
+func checkDifferential(t *testing.T, c *Catalog, q string) {
+	t.Helper()
+	vec, vecErr := c.Query(q)
+	sca, scaErr := c.QueryScalar(q)
+	if (vecErr == nil) != (scaErr == nil) {
+		t.Errorf("query %q: error mismatch\n  vectorized: %v\n  scalar:     %v", q, vecErr, scaErr)
+		return
+	}
+	if vecErr != nil {
+		return
+	}
+	dv, ds := dumpTable(vec), dumpTable(sca)
+	if dv != ds {
+		t.Errorf("query %q: result mismatch\n-- vectorized --\n%s\n-- scalar --\n%s", q, dv, ds)
+	}
+}
+
+func TestVectorizedMatchesScalarCorpus(t *testing.T) {
+	c := testCatalog(t)
+	queries := []string{
+		"SELECT * FROM sales",
+		"SELECT id, amount FROM sales WHERE amount > 100",
+		"SELECT id FROM sales WHERE amount <= 0",
+		"SELECT id FROM sales WHERE amount IS NULL",
+		"SELECT id FROM sales WHERE amount IS NOT NULL AND qty > 1",
+		"SELECT region, SUM(amount) FROM sales GROUP BY region ORDER BY 2 DESC",
+		"SELECT region, SUM(amount) AS total FROM sales GROUP BY region ORDER BY total DESC, region",
+		"SELECT s.id, p.price FROM sales s JOIN products p ON s.product = p.name WHERE p.price > 40",
+		"SELECT s.id, p.name FROM sales s LEFT JOIN products p ON s.product = p.name ORDER BY s.id",
+		"SELECT s.id FROM sales s JOIN products p ON s.product = p.name AND s.amount > p.price",
+		"SELECT region, COUNT(*) AS n FROM sales WHERE amount IS NOT NULL GROUP BY region HAVING COUNT(*) > 1",
+		"SELECT id FROM sales WHERE region = 'west' AND (product = 'widget' OR qty >= 4)",
+		"SELECT id, amount * qty FROM sales WHERE id BETWEEN 2 AND 5",
+		"SELECT id FROM sales WHERE id NOT BETWEEN 2 AND 5",
+		"SELECT id FROM sales WHERE product IN ('widget', 'gadget') ORDER BY id",
+		"SELECT id FROM sales WHERE product NOT IN ('widget') ORDER BY id DESC",
+		"SELECT id FROM sales WHERE qty IN (1, 3)",
+		"SELECT DISTINCT region FROM sales ORDER BY region",
+		"SELECT DISTINCT product, region FROM sales",
+		"SELECT UPPER(region), amount + 1.5 FROM sales WHERE NOT (qty < 2)",
+		"SELECT id, -amount, -qty FROM sales",
+		"SELECT id FROM sales WHERE product LIKE 'w%'",
+		"SELECT id FROM sales WHERE region || product LIKE '%stwid%'",
+		"SELECT region, MIN(amount), MAX(amount), AVG(amount) FROM sales GROUP BY region",
+		"SELECT COUNT(*), COUNT(amount), SUM(qty) FROM sales",
+		"SELECT COUNT(DISTINCT region) FROM sales",
+		"SELECT MEDIAN(amount), STDDEV(amount) FROM sales",
+		"SELECT s.region, p.category, SUM(s.amount) FROM sales s LEFT JOIN products p ON s.product = p.name GROUP BY s.region, p.category",
+		"SELECT CASE WHEN amount > 100 THEN 'big' ELSE 'small' END AS size, COUNT(*) FROM sales GROUP BY size",
+		"SELECT id, amount FROM sales ORDER BY amount DESC LIMIT 3",
+		"SELECT id FROM sales ORDER BY id LIMIT 2 OFFSET 2",
+		"SELECT qty, qty % 2, qty / 2 FROM sales",
+		"SELECT id FROM sales WHERE amount / 0 > 1",
+		"SELECT YEAR(ftime), COUNT(*) FROM sales GROUP BY YEAR(ftime) ORDER BY 1",
+		"SELECT region FROM sales WHERE ftime > '2024-01-01'",
+		"SELECT unknowncol FROM sales",
+		"SELECT id FROM sales WHERE unknowncol = 1",
+		"SELECT region, SUM(amount * qty) FROM sales GROUP BY region",
+		"SELECT NULL AS x FROM sales LIMIT 2",
+		"SELECT id, CASE WHEN amount > 1e9 THEN 1 END AS never FROM sales ORDER BY id LIMIT 3",
+	}
+	for _, q := range queries {
+		checkDifferential(t, c, q)
+	}
+}
+
+// TestAllNullProjectionDoesNotPanic pins the regression where an all-NULL
+// projected column was retagged to TEXT without string storage and
+// crashed in Slice/Limit.
+func TestAllNullProjectionDoesNotPanic(t *testing.T) {
+	c := testCatalog(t)
+	out := mustQuery(t, c, "SELECT NULL AS x FROM sales LIMIT 2")
+	if out.NumRows() != 2 || out.NumCols() != 1 {
+		t.Fatalf("shape = %dx%d", out.NumRows(), out.NumCols())
+	}
+	for i := 0; i < out.NumRows(); i++ {
+		if !out.Columns[0].Value(i).IsNull() {
+			t.Errorf("row %d: want NULL, got %v", i, out.Columns[0].Value(i))
+		}
+	}
+	if got := out.Columns[0].Kind; got != table.KindString {
+		t.Errorf("all-NULL column kind = %v, want TEXT default", got)
+	}
+	// Distinct + offset also walk the column; make sure they survive too.
+	out = mustQuery(t, c, "SELECT DISTINCT NULL AS x FROM sales")
+	if out.NumRows() != 1 {
+		t.Errorf("distinct all-NULL rows = %d, want 1", out.NumRows())
+	}
+}
+
+// randCatalog builds a randomized dataset with NULLs, duplicates, and a
+// dimension table for joins.
+func randCatalog(rng *rand.Rand, rows int) *Catalog {
+	data := table.MustNew("data",
+		[]string{"a", "b", "c", "d", "e"},
+		[]table.Kind{table.KindInt, table.KindFloat, table.KindString, table.KindBool, table.KindInt})
+	cats := []string{"red", "green", "blue", "mauve", ""}
+	for i := 0; i < rows; i++ {
+		var a, b, c, d table.Value
+		if rng.Intn(10) == 0 {
+			a = table.Null()
+		} else {
+			a = table.Int(int64(rng.Intn(50) - 10))
+		}
+		if rng.Intn(10) == 0 {
+			b = table.Null()
+		} else {
+			b = table.Float(float64(rng.Intn(2000))/10 - 40)
+		}
+		s := cats[rng.Intn(len(cats))]
+		if s == "" {
+			c = table.Null()
+		} else {
+			c = table.Str(s)
+		}
+		if rng.Intn(12) == 0 {
+			d = table.Null()
+		} else {
+			d = table.Bool(rng.Intn(2) == 0)
+		}
+		e := table.Int(int64(rng.Intn(8)))
+		data.MustAppendRow(a, b, c, d, e)
+	}
+	dim := table.MustNew("dim",
+		[]string{"key", "label", "weight"},
+		[]table.Kind{table.KindInt, table.KindString, table.KindFloat})
+	for k := 0; k < 6; k++ {
+		dim.MustAppendRow(table.Int(int64(k)), table.Str(fmt.Sprintf("label%d", k%3)), table.Float(float64(k)*1.5))
+	}
+	c := NewCatalog()
+	c.Register(data)
+	c.Register(dim)
+	return c
+}
+
+// randPredicate generates a random WHERE/HAVING-free predicate over data's
+// columns.
+func randPredicate(rng *rand.Rand, depth int) string {
+	if depth > 0 && rng.Intn(3) == 0 {
+		op := "AND"
+		if rng.Intn(2) == 0 {
+			op = "OR"
+		}
+		l := randPredicate(rng, depth-1)
+		r := randPredicate(rng, depth-1)
+		p := fmt.Sprintf("(%s %s %s)", l, op, r)
+		if rng.Intn(4) == 0 {
+			p = "NOT " + p
+		}
+		return p
+	}
+	cmps := []string{"=", "<>", "<", "<=", ">", ">="}
+	switch rng.Intn(8) {
+	case 0:
+		return fmt.Sprintf("a %s %d", cmps[rng.Intn(len(cmps))], rng.Intn(50)-10)
+	case 1:
+		return fmt.Sprintf("b %s %.1f", cmps[rng.Intn(len(cmps))], float64(rng.Intn(1600))/10-40)
+	case 2:
+		return fmt.Sprintf("c %s '%s'", cmps[rng.Intn(2)], []string{"red", "green", "blue"}[rng.Intn(3)])
+	case 3:
+		return fmt.Sprintf("a BETWEEN %d AND %d", rng.Intn(20)-10, rng.Intn(30))
+	case 4:
+		return fmt.Sprintf("c IN ('red', '%s')", []string{"green", "blue", "teal"}[rng.Intn(3)])
+	case 5:
+		return fmt.Sprintf("a IN (%d, %d, %d)", rng.Intn(20), rng.Intn(20), rng.Intn(20))
+	case 6:
+		col := []string{"a", "b", "c", "d"}[rng.Intn(4)]
+		if rng.Intn(2) == 0 {
+			return col + " IS NULL"
+		}
+		return col + " IS NOT NULL"
+	default:
+		return fmt.Sprintf("c LIKE '%s'", []string{"%e%", "b_ue", "%d", "gr%"}[rng.Intn(4)])
+	}
+}
+
+func randQuery(rng *rand.Rand) string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	if rng.Intn(6) == 0 {
+		sb.WriteString("DISTINCT ")
+	}
+	join := rng.Intn(4) == 0
+
+	if rng.Intn(3) == 0 { // grouped
+		keys := []string{}
+		for _, k := range []string{"c", "e"} {
+			if rng.Intn(2) == 0 {
+				keys = append(keys, k)
+			}
+		}
+		aggs := []string{"SUM(a)", "SUM(b)", "COUNT(*)", "COUNT(b)", "AVG(b)", "MIN(a)", "MAX(b)", "SUM(a + b)", "COUNT(DISTINCT c)"}
+		items := append([]string{}, keys...)
+		items = append(items, aggs[rng.Intn(len(aggs))])
+		if rng.Intn(2) == 0 {
+			items = append(items, aggs[rng.Intn(len(aggs))])
+		}
+		sb.WriteString(strings.Join(items, ", "))
+		sb.WriteString(" FROM data")
+		if rng.Intn(2) == 0 {
+			sb.WriteString(" WHERE ")
+			sb.WriteString(randPredicate(rng, 2))
+		}
+		if len(keys) > 0 {
+			sb.WriteString(" GROUP BY ")
+			sb.WriteString(strings.Join(keys, ", "))
+			if rng.Intn(3) == 0 {
+				sb.WriteString(fmt.Sprintf(" HAVING COUNT(*) > %d", rng.Intn(3)))
+			}
+		}
+		sb.WriteString(" ORDER BY 1")
+		return sb.String()
+	}
+
+	cols := []string{"a", "b", "c", "d", "e", "a + e", "a * 2", "b - a", "UPPER(c)", "ABS(a)",
+		"CASE WHEN a > 5 THEN 'hi' WHEN a > 0 THEN 'mid' ELSE 'lo' END"}
+	nitems := 1 + rng.Intn(3)
+	items := make([]string, nitems)
+	for i := range items {
+		items[i] = cols[rng.Intn(len(cols))]
+	}
+	if join {
+		items = append(items, "dim.label")
+	}
+	sb.WriteString(strings.Join(items, ", "))
+	sb.WriteString(" FROM data")
+	if join {
+		if rng.Intn(2) == 0 {
+			sb.WriteString(" LEFT JOIN dim ON data.e = dim.key")
+		} else {
+			sb.WriteString(" JOIN dim ON data.e = dim.key")
+		}
+		if rng.Intn(3) == 0 {
+			sb.WriteString(" AND dim.weight > 2.0")
+		}
+	}
+	if rng.Intn(2) == 0 {
+		sb.WriteString(" WHERE ")
+		sb.WriteString(randPredicate(rng, 2))
+	}
+	if rng.Intn(2) == 0 {
+		sb.WriteString(fmt.Sprintf(" ORDER BY %d", 1+rng.Intn(nitems)))
+		if rng.Intn(2) == 0 {
+			sb.WriteString(" DESC")
+		}
+	}
+	if rng.Intn(3) == 0 {
+		sb.WriteString(fmt.Sprintf(" LIMIT %d", 1+rng.Intn(20)))
+		if rng.Intn(3) == 0 {
+			sb.WriteString(fmt.Sprintf(" OFFSET %d", rng.Intn(5)))
+		}
+	}
+	return sb.String()
+}
+
+// TestVectorizedMatchesScalarRandom cross-checks the vectorized executor
+// against the scalar reference on randomized queries over randomized data,
+// the property-test style used in internal/dsl.
+func TestVectorizedMatchesScalarRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := randCatalog(rng, 400)
+	for i := 0; i < 300; i++ {
+		q := randQuery(rng)
+		checkDifferential(t, c, q)
+		if t.Failed() {
+			t.Fatalf("first failure at query %d: %s", i, q)
+		}
+	}
+}
+
+// TestConcurrentQueryAndRegister exercises the catalog's reader/writer
+// locking: many goroutines query while others register new tables. Run
+// under -race in CI.
+func TestConcurrentQueryAndRegister(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	c := randCatalog(rng, 2000)
+	queries := []string{
+		"SELECT c, SUM(a), COUNT(*) FROM data GROUP BY c ORDER BY 1",
+		"SELECT a, b FROM data WHERE a > 5 AND b < 100 ORDER BY a LIMIT 50",
+		"SELECT data.a, dim.label FROM data JOIN dim ON data.e = dim.key WHERE dim.weight > 1",
+		"SELECT COUNT(*) FROM data WHERE c IN ('red', 'blue') OR a IS NULL",
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if g%4 == 3 && i%5 == 0 {
+					extra := table.MustNew(fmt.Sprintf("extra%d_%d", g, i),
+						[]string{"x"}, []table.Kind{table.KindInt})
+					extra.MustAppendRow(table.Int(int64(i)))
+					c.Register(extra)
+					continue
+				}
+				if _, err := c.Query(queries[(g+i)%len(queries)]); err != nil {
+					t.Errorf("goroutine %d: %v", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

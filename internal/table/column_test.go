@@ -1,0 +1,192 @@
+package table
+
+import (
+	"testing"
+	"time"
+)
+
+func TestColumnTypedStorage(t *testing.T) {
+	c := NewColumn("n", KindInt)
+	c.Append(Int(1))
+	c.AppendNull()
+	c.Append(Int(3))
+	if c.Len() != 3 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	if !c.IsTyped() {
+		t.Fatal("homogeneous int column should stay typed")
+	}
+	is, nulls, ok := c.Ints()
+	if !ok || len(is) != 3 || is[0] != 1 || is[2] != 3 || !nulls[1] {
+		t.Fatalf("Ints() = %v %v %v", is, nulls, ok)
+	}
+	if got := c.Value(1); !got.IsNull() {
+		t.Errorf("Value(1) = %v, want NULL", got)
+	}
+	if got := c.Value(2); got.Kind != KindInt || got.I != 3 {
+		t.Errorf("Value(2) = %v", got)
+	}
+	if _, _, ok := c.Floats(); ok {
+		t.Error("Floats() should report ok=false on an int column")
+	}
+}
+
+func TestColumnDegradesOnMixedKinds(t *testing.T) {
+	c := NewColumn("m", KindInt)
+	c.Append(Int(1))
+	c.Append(Float(2.5)) // mismatched kind: degrade to boxed
+	c.Append(Str("x"))
+	if c.IsTyped() {
+		t.Fatal("mixed column should be boxed")
+	}
+	if _, _, ok := c.Ints(); ok {
+		t.Error("Ints() must fail on boxed column")
+	}
+	want := []Value{Int(1), Float(2.5), Str("x")}
+	for i, w := range want {
+		if got := c.Value(i); !Equal(got, w) || got.Kind != w.Kind {
+			t.Errorf("Value(%d) = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestColumnSetDegrades(t *testing.T) {
+	c := NewColumn("s", KindFloat)
+	c.Append(Float(1))
+	c.Append(Float(2))
+	c.Set(0, Float(9))
+	if fs, _, ok := c.Floats(); !ok || fs[0] != 9 {
+		t.Fatalf("Set same-kind should stay typed: %v %v", fs, ok)
+	}
+	c.Set(1, Str("oops"))
+	if c.IsTyped() {
+		t.Fatal("Set with mismatched kind should degrade")
+	}
+	if got := c.Value(1); got.S != "oops" {
+		t.Errorf("Value(1) = %v", got)
+	}
+	if got := c.Value(0); got.F != 9 {
+		t.Errorf("Value(0) = %v", got)
+	}
+}
+
+func TestColumnGatherWithNullPadding(t *testing.T) {
+	c := NewColumn("g", KindString)
+	for _, s := range []string{"a", "b", "c"} {
+		c.Append(Str(s))
+	}
+	out := c.Gather([]int{2, -1, 0, 0})
+	if out.Len() != 4 {
+		t.Fatalf("len = %d", out.Len())
+	}
+	if v := out.Value(0); v.S != "c" {
+		t.Errorf("out[0] = %v", v)
+	}
+	if !out.Value(1).IsNull() {
+		t.Error("out[1] should be NULL (padded)")
+	}
+	if v := out.Value(3); v.S != "a" {
+		t.Errorf("out[3] = %v", v)
+	}
+}
+
+func TestColumnSliceAndCloneIndependence(t *testing.T) {
+	c := NewColumn("i", KindInt)
+	for i := 0; i < 5; i++ {
+		c.Append(Int(int64(i)))
+	}
+	cp := c.CloneData()
+	sl := c.SliceRange(1, 3)
+	c.Set(1, Int(99))
+	if cp.Value(1).I != 1 {
+		t.Error("CloneData must not share storage")
+	}
+	if sl.Value(0).I != 1 {
+		t.Error("SliceRange must not share storage")
+	}
+	if sl.Len() != 2 || sl.Value(1).I != 2 {
+		t.Errorf("slice = %v", sl.Values())
+	}
+}
+
+func TestColumnConstructorsAndValues(t *testing.T) {
+	fc := ColumnFromFloats("f", []float64{1.5, 0}, []bool{false, true})
+	if fc.Kind != KindFloat || fc.Len() != 2 {
+		t.Fatalf("bad float column: %+v", fc)
+	}
+	if !fc.Value(1).IsNull() {
+		t.Error("null bitmap ignored")
+	}
+	vals := fc.Values()
+	if len(vals) != 2 || vals[0].F != 1.5 {
+		t.Errorf("Values() = %v", vals)
+	}
+	bc := ColumnFromBools("b", []bool{true, false}, nil)
+	if v, ok := bc.Value(0).AsBool(); !ok || !v {
+		t.Error("bool column roundtrip failed")
+	}
+	sc := ColumnFromStrings("s", []string{"x"}, nil)
+	if sc.Value(0).S != "x" {
+		t.Error("string column roundtrip failed")
+	}
+	ic := ColumnFromInts("i", []int64{7}, nil)
+	if ic.Value(0).I != 7 {
+		t.Error("int column roundtrip failed")
+	}
+	mixed := ColumnOf("m", KindInt, []Value{Int(1), Str("two")})
+	if mixed.IsTyped() {
+		t.Error("ColumnOf with mixed values should degrade")
+	}
+	if mixed.Value(1).S != "two" {
+		t.Errorf("mixed[1] = %v", mixed.Value(1))
+	}
+}
+
+func TestColumnFloatAt(t *testing.T) {
+	c := NewColumn("x", KindInt)
+	c.Append(Int(4))
+	c.AppendNull()
+	if f, ok := c.FloatAt(0); !ok || f != 4 {
+		t.Errorf("FloatAt(0) = %v %v", f, ok)
+	}
+	if _, ok := c.FloatAt(1); ok {
+		t.Error("FloatAt on NULL should be !ok")
+	}
+	s := NewColumn("s", KindString)
+	s.Append(Str("2.5"))
+	s.Append(Str("nope"))
+	if f, ok := s.FloatAt(0); !ok || f != 2.5 {
+		t.Errorf("FloatAt numeric string = %v %v", f, ok)
+	}
+	if _, ok := s.FloatAt(1); ok {
+		t.Error("FloatAt on non-numeric string should be !ok")
+	}
+}
+
+func TestColumnTimeStorage(t *testing.T) {
+	c := NewColumn("t", KindTime)
+	now := time.Date(2024, 3, 1, 12, 0, 0, 0, time.UTC)
+	c.Append(Time(now))
+	c.AppendNull()
+	ts, nulls, ok := c.Times()
+	if !ok || !ts[0].Equal(now) || !nulls[1] {
+		t.Fatalf("Times() = %v %v %v", ts, nulls, ok)
+	}
+	if v := c.Value(0); !v.T.Equal(now) {
+		t.Errorf("Value(0) = %v", v)
+	}
+}
+
+func TestTableStaysTypedThroughAppendRow(t *testing.T) {
+	tb := MustNew("t", []string{"a", "b"}, []Kind{KindInt, KindString})
+	// AppendRow coerces, so typed storage should survive string->int cells.
+	tb.MustAppendRow(Str("42"), Str("x"))
+	tb.MustAppendRow(Int(7), Null())
+	if !tb.Columns[0].IsTyped() || !tb.Columns[1].IsTyped() {
+		t.Fatal("coerced appends should keep typed storage")
+	}
+	is, _, ok := tb.Columns[0].Ints()
+	if !ok || is[0] != 42 || is[1] != 7 {
+		t.Fatalf("ints = %v %v", is, ok)
+	}
+}

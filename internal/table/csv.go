@@ -84,7 +84,7 @@ func (t *Table) WriteCSV(w io.Writer) error {
 	for i, n := 0, t.NumRows(); i < n; i++ {
 		rec := make([]string, len(t.Columns))
 		for j := range t.Columns {
-			rec[j] = t.Columns[j].Values[i].AsString()
+			rec[j] = t.Columns[j].Value(i).AsString()
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

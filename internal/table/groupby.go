@@ -122,7 +122,7 @@ func (t *Table) GroupBy(keys []string, aggs []Aggregation) (*Table, error) {
 	for r := 0; r < n; r++ {
 		var kb strings.Builder
 		for _, ci := range keyIdx {
-			kb.WriteString(t.Columns[ci].Values[r].Key())
+			kb.WriteString(t.Columns[ci].Value(r).Key())
 			kb.WriteByte('\x1f')
 		}
 		k := kb.String()
@@ -162,14 +162,14 @@ func (t *Table) GroupBy(keys []string, aggs []Aggregation) (*Table, error) {
 		g := groups[k]
 		row := make([]Value, 0, len(keyIdx)+len(aggs))
 		for _, ci := range keyIdx {
-			row = append(row, t.Columns[ci].Values[g.firstRow])
+			row = append(row, t.Columns[ci].Value(g.firstRow))
 		}
 		for i, a := range aggs {
 			row = append(row, computeAgg(t, a.Func, aggIdx[i], g.rows))
 		}
 		// Bypass AppendRow coercion checks: values are already typed.
 		for j := range out.Columns {
-			out.Columns[j].Values = append(out.Columns[j].Values, row[j])
+			out.Columns[j].Append(row[j])
 		}
 	}
 	return out, nil
@@ -179,43 +179,53 @@ func computeAgg(t *Table, fn AggFunc, col int, rows []int) Value {
 	if fn == AggCount && col < 0 {
 		return Int(int64(len(rows)))
 	}
-	var vals []Value
-	for _, r := range rows {
-		v := t.Columns[col].Values[r]
-		if !v.IsNull() {
-			vals = append(vals, v)
-		}
-	}
+	c := &t.Columns[col]
 	switch fn {
 	case AggCount:
-		return Int(int64(len(vals)))
+		n := 0
+		for _, r := range rows {
+			if !c.IsNullAt(r) {
+				n++
+			}
+		}
+		return Int(int64(n))
 	case AggCountDistinct:
 		seen := map[string]bool{}
-		for _, v := range vals {
-			seen[v.Key()] = true
+		for _, r := range rows {
+			if !c.IsNullAt(r) {
+				seen[c.Value(r).Key()] = true
+			}
 		}
 		return Int(int64(len(seen)))
 	case AggFirst:
-		if len(vals) == 0 {
-			return Null()
+		for _, r := range rows {
+			if !c.IsNullAt(r) {
+				return c.Value(r)
+			}
 		}
-		return vals[0]
+		return Null()
 	case AggMin, AggMax:
-		if len(vals) == 0 {
-			return Null()
-		}
-		best := vals[0]
-		for _, v := range vals[1:] {
-			c := Compare(v, best)
-			if (fn == AggMin && c < 0) || (fn == AggMax && c > 0) {
+		best := Null()
+		for _, r := range rows {
+			if c.IsNullAt(r) {
+				continue
+			}
+			v := c.Value(r)
+			if best.IsNull() {
+				best = v
+				continue
+			}
+			cmp := Compare(v, best)
+			if (fn == AggMin && cmp < 0) || (fn == AggMax && cmp > 0) {
 				best = v
 			}
 		}
 		return best
 	case AggSum, AggAvg, AggStdDev, AggMedian:
-		var nums []float64
-		for _, v := range vals {
-			if f, ok := v.AsFloat(); ok {
+		// Typed fast path: read float64s straight out of columnar storage.
+		nums := make([]float64, 0, len(rows))
+		for _, r := range rows {
+			if f, ok := c.FloatAt(r); ok {
 				nums = append(nums, f)
 			}
 		}

@@ -16,6 +16,11 @@ const (
 // Join hash-joins t (left) with right on leftCol = rightCol. Output columns
 // are all left columns followed by all right columns; name collisions on the
 // right are disambiguated with the right table's name as a prefix.
+//
+// The join materializes matched (left, right) row-index pairs and then
+// gathers each output column in one pass over columnar storage, with typed
+// fast paths for int and string keys that avoid boxing and key-string
+// allocation entirely.
 func (t *Table) Join(right *Table, leftCol, rightCol string, kind JoinKind) (*Table, error) {
 	li := t.ColumnIndex(leftCol)
 	if li < 0 {
@@ -26,64 +31,121 @@ func (t *Table) Join(right *Table, leftCol, rightCol string, kind JoinKind) (*Ta
 		return nil, fmt.Errorf("join: unknown right column %q on %s", rightCol, right.Name)
 	}
 
-	// Build hash index over the right side.
-	index := make(map[string][]int, right.NumRows())
-	for r, n := 0, right.NumRows(); r < n; r++ {
-		v := right.Columns[ri].Values[r]
-		if v.IsNull() {
-			continue // NULL never matches in a join predicate
-		}
-		k := v.Key()
-		index[k] = append(index[k], r)
-	}
+	lidx, ridx := hashJoinIndices(&t.Columns[li], &right.Columns[ri], kind)
 
 	out := &Table{Name: t.Name + "_" + right.Name}
 	taken := make(map[string]bool, len(t.Columns)+len(right.Columns))
-	for _, c := range t.Columns {
-		taken[strings.ToLower(c.Name)] = true
-		out.Columns = append(out.Columns, Column{Name: c.Name, Kind: c.Kind})
+	for i := range t.Columns {
+		taken[strings.ToLower(t.Columns[i].Name)] = true
+		out.Columns = append(out.Columns, t.Columns[i].Gather(lidx))
 	}
-	rightNames := make([]string, len(right.Columns))
-	for i, c := range right.Columns {
-		name := c.Name
+	for i := range right.Columns {
+		name := right.Columns[i].Name
 		if taken[strings.ToLower(name)] {
-			name = right.Name + "." + c.Name
+			name = right.Name + "." + right.Columns[i].Name
 		}
 		taken[strings.ToLower(name)] = true
-		rightNames[i] = name
-		out.Columns = append(out.Columns, Column{Name: name, Kind: c.Kind})
+		col := right.Columns[i].Gather(ridx)
+		col.Name = name
+		out.Columns = append(out.Columns, col)
 	}
+	return out, nil
+}
 
-	appendJoined := func(lr, rr int) {
-		for j := range t.Columns {
-			out.Columns[j].Values = append(out.Columns[j].Values, t.Columns[j].Values[lr])
-		}
-		for j := range right.Columns {
-			var v Value
-			if rr >= 0 {
-				v = right.Columns[j].Values[rr]
-			}
-			out.Columns[len(t.Columns)+j].Values = append(out.Columns[len(t.Columns)+j].Values, v)
-		}
-	}
-
-	for lr, n := 0, t.NumRows(); lr < n; lr++ {
-		v := t.Columns[li].Values[lr]
-		var matches []int
-		if !v.IsNull() {
-			matches = index[v.Key()]
-		}
+// hashJoinIndices computes the matched row-index pairs for an equi-join on
+// lc = rc. For left joins, unmatched left rows pair with -1 (NULL padding
+// in Gather).
+func hashJoinIndices(lc, rc *Column, kind JoinKind) (lidx, ridx []int) {
+	probe := NewHashProbe([]*Column{lc}, []*Column{rc})
+	for l, n := 0, lc.Len(); l < n; l++ {
+		matches := probe(l)
 		if len(matches) == 0 {
 			if kind == JoinLeft {
-				appendJoined(lr, -1)
+				lidx = append(lidx, l)
+				ridx = append(ridx, -1)
 			}
 			continue
 		}
-		for _, rr := range matches {
-			appendJoined(lr, rr)
+		for _, r := range matches {
+			lidx = append(lidx, l)
+			ridx = append(ridx, r)
 		}
 	}
-	return out, nil
+	return lidx, ridx
+}
+
+// NewHashProbe builds a hash index over the key columns of the right side
+// and returns a probe from a left-row index to the matching right rows.
+// lcols and rcols pair up positionally (lcols[i] = rcols[i]); a NULL in any
+// key column never matches. Single typed int and string keys use typed
+// maps; composite or mixed keys hash concatenated canonical Value keys, so
+// numeric kinds unify (an int column still joins against a float column).
+// Shared by table.Join and the SQL engine's hash equi-join.
+func NewHashProbe(lcols, rcols []*Column) func(leftRow int) []int {
+	if len(lcols) == 1 {
+		left, right := lcols[0], rcols[0]
+		if lInts, lNulls, ok := left.Ints(); ok {
+			if rInts, rNulls, ok2 := right.Ints(); ok2 {
+				index := make(map[int64][]int, len(rInts))
+				for r, v := range rInts {
+					if !rNulls[r] {
+						index[v] = append(index[v], r)
+					}
+				}
+				return func(l int) []int {
+					if lNulls[l] {
+						return nil
+					}
+					return index[lInts[l]]
+				}
+			}
+		}
+		if lStrs, lNulls, ok := left.Strings(); ok {
+			if rStrs, rNulls, ok2 := right.Strings(); ok2 {
+				index := make(map[string][]int, len(rStrs))
+				for r, v := range rStrs {
+					if !rNulls[r] {
+						index[v] = append(index[v], r)
+					}
+				}
+				return func(l int) []int {
+					if lNulls[l] {
+						return nil
+					}
+					return index[lStrs[l]]
+				}
+			}
+		}
+	}
+	keyAt := func(cols []*Column, row int) (string, bool) {
+		var kb strings.Builder
+		for _, c := range cols {
+			v := c.Value(row)
+			if v.IsNull() {
+				return "", false
+			}
+			kb.WriteString(v.Key())
+			kb.WriteByte('\x1f')
+		}
+		return kb.String(), true
+	}
+	n := 0
+	if len(rcols) > 0 {
+		n = rcols[0].Len()
+	}
+	index := make(map[string][]int, n)
+	for r := 0; r < n; r++ {
+		if k, ok := keyAt(rcols, r); ok {
+			index[k] = append(index[k], r)
+		}
+	}
+	return func(l int) []int {
+		k, ok := keyAt(lcols, l)
+		if !ok {
+			return nil
+		}
+		return index[k]
+	}
 }
 
 // Concat appends the rows of other to a copy of t. Schemas must match in
@@ -94,8 +156,10 @@ func (t *Table) Concat(other *Table) (*Table, error) {
 	}
 	out := t.Clone()
 	for i := range out.Columns {
-		for _, v := range other.Columns[i].Values {
-			out.Columns[i].Values = append(out.Columns[i].Values, v.Coerce(out.Columns[i].Kind))
+		src := &other.Columns[i]
+		out.Columns[i].Grow(src.Len())
+		for r, m := 0, src.Len(); r < m; r++ {
+			out.Columns[i].Append(src.Value(r).Coerce(out.Columns[i].Kind))
 		}
 	}
 	return out, nil

@@ -39,7 +39,8 @@ func (t *Table) profileColumn(i, sampleN int) ColumnStats {
 	st := ColumnStats{Name: c.Name, Kind: c.Kind}
 	freq := map[string]int{}
 	var nums []float64
-	for _, v := range c.Values {
+	for r, m := 0, c.Len(); r < m; r++ {
+		v := c.Value(r)
 		if v.IsNull() {
 			st.Nulls++
 			continue
@@ -76,8 +77,8 @@ func (t *Table) profileColumn(i, sampleN int) ColumnStats {
 	// Deterministic sample: evenly spaced non-null values.
 	if sampleN > 0 && st.Count > 0 {
 		var nonNull []string
-		for _, v := range c.Values {
-			if !v.IsNull() {
+		for r, m := 0, c.Len(); r < m; r++ {
+			if v := c.Value(r); !v.IsNull() {
 				nonNull = append(nonNull, v.AsString())
 			}
 		}

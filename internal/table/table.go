@@ -6,14 +6,6 @@ import (
 	"strings"
 )
 
-// Column is a named, typed vector of values. Kind is the declared type;
-// individual cells may still be NULL.
-type Column struct {
-	Name   string
-	Kind   Kind
-	Values []Value
-}
-
 // Table is a named collection of equal-length columns.
 type Table struct {
 	Name    string
@@ -53,7 +45,7 @@ func (t *Table) NumRows() int {
 	if len(t.Columns) == 0 {
 		return 0
 	}
-	return len(t.Columns[0].Values)
+	return t.Columns[0].Len()
 }
 
 // NumCols returns the column count.
@@ -94,7 +86,7 @@ func (t *Table) AppendRow(vals ...Value) error {
 		return fmt.Errorf("table %s: append %d values to %d columns", t.Name, len(vals), len(t.Columns))
 	}
 	for i := range t.Columns {
-		t.Columns[i].Values = append(t.Columns[i].Values, vals[i].Coerce(t.Columns[i].Kind))
+		t.Columns[i].Append(vals[i].Coerce(t.Columns[i].Kind))
 	}
 	return nil
 }
@@ -110,7 +102,7 @@ func (t *Table) MustAppendRow(vals ...Value) {
 func (t *Table) Row(i int) []Value {
 	row := make([]Value, len(t.Columns))
 	for j := range t.Columns {
-		row[j] = t.Columns[j].Values[i]
+		row[j] = t.Columns[j].Value(i)
 	}
 	return row
 }
@@ -121,16 +113,14 @@ func (t *Table) Get(row int, col string) Value {
 	if idx < 0 || row < 0 || row >= t.NumRows() {
 		return Null()
 	}
-	return t.Columns[idx].Values[row]
+	return t.Columns[idx].Value(row)
 }
 
 // Clone deep-copies the table.
 func (t *Table) Clone() *Table {
 	out := &Table{Name: t.Name, Columns: make([]Column, len(t.Columns))}
-	for i, c := range t.Columns {
-		vals := make([]Value, len(c.Values))
-		copy(vals, c.Values)
-		out.Columns[i] = Column{Name: c.Name, Kind: c.Kind, Values: vals}
+	for i := range t.Columns {
+		out.Columns[i] = t.Columns[i].CloneData()
 	}
 	return out
 }
@@ -148,10 +138,8 @@ func (t *Table) Slice(lo, hi int) *Table {
 		lo = hi
 	}
 	out := &Table{Name: t.Name, Columns: make([]Column, len(t.Columns))}
-	for i, c := range t.Columns {
-		vals := make([]Value, hi-lo)
-		copy(vals, c.Values[lo:hi])
-		out.Columns[i] = Column{Name: c.Name, Kind: c.Kind, Values: vals}
+	for i := range t.Columns {
+		out.Columns[i] = t.Columns[i].SliceRange(lo, hi)
 	}
 	return out
 }
@@ -159,12 +147,8 @@ func (t *Table) Slice(lo, hi int) *Table {
 // SelectRows returns a new table containing the given row indices in order.
 func (t *Table) SelectRows(idx []int) *Table {
 	out := &Table{Name: t.Name, Columns: make([]Column, len(t.Columns))}
-	for i, c := range t.Columns {
-		vals := make([]Value, len(idx))
-		for j, r := range idx {
-			vals[j] = c.Values[r]
-		}
-		out.Columns[i] = Column{Name: c.Name, Kind: c.Kind, Values: vals}
+	for i := range t.Columns {
+		out.Columns[i] = t.Columns[i].Gather(idx)
 	}
 	return out
 }
@@ -178,9 +162,7 @@ func (t *Table) Project(names ...string) (*Table, error) {
 		if c == nil {
 			return nil, fmt.Errorf("table %s: unknown column %q", t.Name, n)
 		}
-		vals := make([]Value, len(c.Values))
-		copy(vals, c.Values)
-		out.Columns = append(out.Columns, Column{Name: c.Name, Kind: c.Kind, Values: vals})
+		out.Columns = append(out.Columns, c.CloneData())
 	}
 	return out, nil
 }
@@ -219,7 +201,7 @@ func (t *Table) Sort(keys ...SortKey) (*Table, error) {
 	sort.SliceStable(idx, func(a, b int) bool {
 		ra, rb := idx[a], idx[b]
 		for i, k := range keys {
-			c := Compare(t.Columns[colIdx[i]].Values[ra], t.Columns[colIdx[i]].Values[rb])
+			c := Compare(t.Columns[colIdx[i]].Value(ra), t.Columns[colIdx[i]].Value(rb))
 			if c == 0 {
 				continue
 			}
@@ -259,7 +241,7 @@ func (t *Table) Distinct() *Table {
 func (t *Table) rowKey(i int) string {
 	var sb strings.Builder
 	for j := range t.Columns {
-		sb.WriteString(t.Columns[j].Values[i].Key())
+		sb.WriteString(t.Columns[j].Value(i).Key())
 		sb.WriteByte('\x1f')
 	}
 	return sb.String()
@@ -272,11 +254,12 @@ func (t *Table) AddColumn(name string, kind Kind, fn func(row int) Value) error 
 		return fmt.Errorf("table %s: column %q already exists", t.Name, name)
 	}
 	n := t.NumRows()
-	vals := make([]Value, n)
+	col := NewColumn(name, kind)
+	col.Grow(n)
 	for i := 0; i < n; i++ {
-		vals[i] = fn(i).Coerce(kind)
+		col.Append(fn(i).Coerce(kind))
 	}
-	t.Columns = append(t.Columns, Column{Name: name, Kind: kind, Values: vals})
+	t.Columns = append(t.Columns, col)
 	return nil
 }
 
@@ -316,7 +299,7 @@ func (t *Table) String() string {
 	for i := 0; i < n; i++ {
 		cells := make([]string, len(t.Columns))
 		for j := range t.Columns {
-			cells[j] = t.Columns[j].Values[i].AsString()
+			cells[j] = t.Columns[j].Value(i).AsString()
 		}
 		sb.WriteString(strings.Join(cells, " | "))
 		sb.WriteByte('\n')

@@ -192,6 +192,19 @@ func Compare(a, b Value) int {
 	case bn:
 		return 1
 	}
+	// Int pairs compare exactly in int64: float64 conversion would conflate
+	// integers beyond 2^53, and the vectorized engine's typed int paths are
+	// exact, so the scalar path must be too.
+	if a.Kind == KindInt && b.Kind == KindInt {
+		switch {
+		case a.I < b.I:
+			return -1
+		case a.I > b.I:
+			return 1
+		default:
+			return 0
+		}
+	}
 	if isNumericKind(a.Kind) && isNumericKind(b.Kind) {
 		af, _ := a.AsFloat()
 		bf, _ := b.AsFloat()

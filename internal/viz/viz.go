@@ -234,9 +234,7 @@ func Render(s *Spec, t *table.Table) (*Rendered, error) {
 		if col == nil {
 			return nil, fmt.Errorf("viz: field %q not in data", enc.Field)
 		}
-		vals := make([]table.Value, len(col.Values))
-		copy(vals, col.Values)
-		out.Series[ch] = vals
+		out.Series[ch] = col.Values()
 	}
 	return out, nil
 }
