@@ -297,6 +297,40 @@ func BenchmarkJoin10kVectorized(b *testing.B) {
 	}
 }
 
+// --- selectivity sweep ---
+//
+// One benchmark per WHERE selectivity over the 100k-row table, in two
+// layouts: clustered (passing rows form one contiguous run, the best case
+// for span-form selections) and scattered (passing rows alternate, forcing
+// dense indices). allocs/op is the zero-copy signal: an all-passing or
+// clustered predicate must not allocate a per-row selection vector. Run:
+//
+//	go test -run xxx -bench=Selectivity -benchmem
+
+func benchSelectivity(b *testing.B, where string) {
+	b.Helper()
+	cat := benchBigCatalog(benchRows)
+	q := "SELECT id, amount FROM big WHERE " + where
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cat.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSelectivity0(b *testing.B)   { benchSelectivity(b, "id < 0") }
+func BenchmarkSelectivity1(b *testing.B)   { benchSelectivity(b, "id < 1000") }
+func BenchmarkSelectivity50(b *testing.B)  { benchSelectivity(b, "id < 50000") }
+func BenchmarkSelectivity99(b *testing.B)  { benchSelectivity(b, "id < 99000") }
+func BenchmarkSelectivity100(b *testing.B) { benchSelectivity(b, "id >= 0") }
+
+// Scattered variants: the same pass rates but spread periodically through
+// the table, so passing rows never form long runs.
+func BenchmarkSelectivity1Scattered(b *testing.B)  { benchSelectivity(b, "id % 100 = 0") }
+func BenchmarkSelectivity50Scattered(b *testing.B) { benchSelectivity(b, "id % 2 = 0") }
+
 // BenchmarkConcurrentQuery measures throughput with many goroutines sharing
 // the catalog and the engine's bounded worker pool.
 func BenchmarkConcurrentQuery(b *testing.B) {

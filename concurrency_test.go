@@ -2,6 +2,7 @@ package datalab
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -62,5 +63,88 @@ func TestConcurrentAskAndQuery(t *testing.T) {
 
 	if n := len(p.Tables()); n < 1 {
 		t.Fatalf("tables = %d", n)
+	}
+}
+
+// TestConcurrentLearnAndAsk stresses the knowledge graph's copy-on-write
+// snapshot swap under -race: writers keep running LearnKnowledge and
+// AddGlossary (each of which clones the graph, mutates the clone, and
+// publishes it) while readers Ask and Query against whatever snapshot
+// their in-flight runtime captured. Before the COW swap this raced: the
+// writers mutated graph maps that an Ask already past its RLock was
+// reading through the retriever.
+func TestConcurrentLearnAndAsk(t *testing.T) {
+	p := MustNew(WithSeed("cow-race"))
+	if err := p.LoadRecords("23_customer_bg",
+		[]string{"prod_class4_name", "shouldincome_after", "ftime"},
+		[][]string{
+			{"TencentBI", "1000.5", "2024-01-05"},
+			{"TencentCloud", "2500.0", "2024-02-03"},
+			{"TencentBI", "1800.25", "2024-03-10"},
+			{"TencentGames", "920.0", "2024-03-11"},
+		}); err != nil {
+		t.Fatal(err)
+	}
+	// Seed one bundle so readers have knowledge to retrieve from the start.
+	learn := func(db string) error {
+		return p.LearnKnowledge(db, "23_customer_bg",
+			[]ColumnSchema{
+				{Name: "prod_class4_name", Type: "string"},
+				{Name: "shouldincome_after", Type: "double"},
+				{Name: "ftime", Type: "date"},
+			},
+			[]Script{{
+				ID:       "daily.sql",
+				Language: "sql",
+				Text: `SELECT prod_class4_name AS product_line_name, SUM(shouldincome_after) AS income_after_tax
+FROM 23_customer_bg GROUP BY prod_class4_name`,
+			}})
+	}
+	if err := learn("sales_db"); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 9; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			switch g % 3 {
+			case 0: // learner: new database name each round → new nodes
+				for i := 0; i < 3; i++ {
+					if err := learn(fmt.Sprintf("db_%d_%d", g, i)); err != nil {
+						t.Errorf("LearnKnowledge: %v", err)
+						return
+					}
+				}
+			case 1: // glossary writer: cheap, tight mutation loop
+				for i := 0; i < 40; i++ {
+					p.AddGlossary(Glossary{
+						Term:         fmt.Sprintf("income%d_%d", g, i),
+						Definition:   "income after tax",
+						Aliases:      []string{fmt.Sprintf("rev%d_%d", g, i)},
+						MapsToColumn: "shouldincome_after",
+						MapsToTable:  "23_customer_bg",
+					})
+				}
+			default: // readers: each Ask retrieves from its rt snapshot
+				for i := 0; i < 8; i++ {
+					if _, err := p.Ask("total income by product line", "23_customer_bg"); err != nil {
+						t.Errorf("Ask: %v", err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// The final snapshot must still resolve jargon end-to-end.
+	ans, err := p.Ask("total income by product line", "23_customer_bg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ans.SQL, "shouldincome_after") {
+		t.Errorf("post-stress snapshot lost jargon resolution: %s", ans.SQL)
 	}
 }

@@ -53,10 +53,10 @@ func WithSeed(seed string) Option {
 // many goroutines at once (the catalog serializes registrations against
 // readers, and the SQL engine runs scan/aggregate partitions on a bounded
 // worker pool shared across queries). LearnKnowledge and AddGlossary are
-// setup-phase calls: they mutate the knowledge graph in place, so they must
-// complete before concurrent Ask traffic begins — the platform mutex
-// serializes the runtime swap itself, but not readers of graph internals
-// inside an Ask already in flight.
+// safe mid-traffic too: knowledge updates are copy-on-write — each call
+// clones the knowledge graph, mutates the clone, and publishes it with a
+// new runtime under the platform mutex, while an Ask already in flight
+// keeps reading the immutable snapshot its runtime captured.
 type Platform struct {
 	client  *llm.Client
 	catalog *sqlengine.Catalog
@@ -192,11 +192,9 @@ func (p *Platform) LearnKnowledge(database, tableName string, columns []ColumnSc
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.graph == nil {
-		p.graph = knowledge.NewGraph()
-	}
-	p.graph.AddBundle(bundle, knowledge.LevelFull)
-	p.rt = agent.NewRuntime(p.client, p.catalog).WithGraph(p.graph, knowledge.LevelFull)
+	graph := p.cloneGraphLocked()
+	graph.AddBundle(bundle, knowledge.LevelFull)
+	p.swapGraphLocked(graph)
 	p.rt.Ambiguity = 0.3
 	return nil
 }
@@ -205,12 +203,9 @@ func (p *Platform) LearnKnowledge(database, tableName string, columns []ColumnSc
 func (p *Platform) AddGlossary(entries ...Glossary) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.graph == nil {
-		p.graph = knowledge.NewGraph()
-		p.rt = agent.NewRuntime(p.client, p.catalog).WithGraph(p.graph, knowledge.LevelFull)
-	}
+	graph := p.cloneGraphLocked()
 	for _, g := range entries {
-		p.graph.AddJargon(knowledge.JargonEntry{
+		graph.AddJargon(knowledge.JargonEntry{
 			Term:         g.Term,
 			Definition:   g.Definition,
 			Aliases:      g.Aliases,
@@ -218,6 +213,31 @@ func (p *Platform) AddGlossary(entries ...Glossary) {
 			MapsToTable:  g.MapsToTable,
 		})
 	}
+	p.swapGraphLocked(graph)
+}
+
+// cloneGraphLocked returns a private copy of the current knowledge graph
+// for a writer to mutate. Knowledge updates are copy-on-write: an Ask in
+// flight snapshots p.rt (and through it the graph) under RLock and keeps
+// reading that immutable snapshot, while the writer mutates only its clone
+// and then publishes it with swapGraphLocked. Callers hold p.mu.
+func (p *Platform) cloneGraphLocked() *knowledge.Graph {
+	if p.graph == nil {
+		return knowledge.NewGraph()
+	}
+	return p.graph.Clone()
+}
+
+// swapGraphLocked publishes a new graph snapshot and the runtime built
+// over it, carrying forward the previous runtime's ambiguity setting
+// (LearnKnowledge raises it separately). Callers hold p.mu.
+func (p *Platform) swapGraphLocked(graph *knowledge.Graph) {
+	rt := agent.NewRuntime(p.client, p.catalog).WithGraph(graph, knowledge.LevelFull)
+	if p.rt != nil {
+		rt.Ambiguity = p.rt.Ambiguity
+	}
+	p.graph = graph
+	p.rt = rt
 }
 
 // Answer is the result of one NL query: whatever the plan's agents

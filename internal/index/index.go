@@ -89,6 +89,34 @@ func (ix *Lexical) Add(e Entry) {
 	ix.docLen[e.ID] = len(weighted)
 }
 
+// Clone returns a deep copy of the index: mutations to either side after
+// the clone are invisible to the other. It backs the knowledge graph's
+// copy-on-write swap, so readers can keep searching the original while a
+// writer builds and mutates the clone.
+func (ix *Lexical) Clone() *Lexical {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	cp := &Lexical{
+		postings: make(map[string]map[string]int, len(ix.postings)),
+		docLen:   make(map[string]int, len(ix.docLen)),
+		entries:  make(map[string]Entry, len(ix.entries)),
+	}
+	for t, m := range ix.postings {
+		nm := make(map[string]int, len(m))
+		for id, tf := range m {
+			nm[id] = tf
+		}
+		cp.postings[t] = nm
+	}
+	for id, dl := range ix.docLen {
+		cp.docLen[id] = dl
+	}
+	for id, e := range ix.entries {
+		cp.entries[id] = e
+	}
+	return cp
+}
+
 // Remove deletes an entry from the index.
 func (ix *Lexical) Remove(id string) {
 	ix.mu.Lock()
@@ -173,6 +201,24 @@ func (ix *Vector) Add(e Entry) {
 	defer ix.mu.Unlock()
 	ix.entries[e.ID] = e
 	ix.vecs[e.ID] = embed.Text(e.Name + " " + e.Content + " " + e.Tag)
+}
+
+// Clone returns a deep copy of the index (see Lexical.Clone). Embedding
+// vectors are values and copy with the map.
+func (ix *Vector) Clone() *Vector {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	cp := &Vector{
+		vecs:    make(map[string]embed.Vector, len(ix.vecs)),
+		entries: make(map[string]Entry, len(ix.entries)),
+	}
+	for id, v := range ix.vecs {
+		cp.vecs[id] = v
+	}
+	for id, e := range ix.entries {
+		cp.entries[id] = e
+	}
+	return cp
 }
 
 // Remove deletes an entry.

@@ -74,6 +74,35 @@ func NewGraph() *Graph {
 	}
 }
 
+// Clone returns a copy-on-write snapshot of the graph: fresh maps, edge
+// slices, and retrieval indexes, sharing only the immutable *Node values
+// (nodes are never mutated after insertion — re-adding an ID replaces the
+// pointer). Mutating the clone (AddBundle, AddJargon, AddAlias) leaves the
+// original untouched, so in-flight readers of the original are safe while
+// a writer prepares the next snapshot. See Platform.LearnKnowledge for the
+// swap protocol.
+func (g *Graph) Clone() *Graph {
+	ng := &Graph{
+		nodes:    make(map[string]*Node, len(g.nodes)),
+		children: make(map[string][]string, len(g.children)),
+		aliases:  make(map[string][]string, len(g.aliases)),
+		lex:      g.lex.Clone(),
+		vec:      g.vec.Clone(),
+		lexLight: g.lexLight.Clone(),
+		vecLight: g.vecLight.Clone(),
+	}
+	for id, n := range g.nodes {
+		ng.nodes[id] = n
+	}
+	for id, kids := range g.children {
+		ng.children[id] = append([]string(nil), kids...)
+	}
+	for id, as := range g.aliases {
+		ng.aliases[id] = append([]string(nil), as...)
+	}
+	return ng
+}
+
 // NumNodes returns the number of nodes.
 func (g *Graph) NumNodes() int { return len(g.nodes) }
 

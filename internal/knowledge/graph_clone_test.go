@@ -1,0 +1,108 @@
+package knowledge
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"datalab/internal/llm"
+)
+
+// TestGraphCloneIndependence checks the copy-on-write contract: mutating a
+// clone (new bundles, jargon, aliases) must not change the original's node
+// set, edges, or retrieval results, and vice versa.
+func TestGraphCloneIndependence(t *testing.T) {
+	g := newTestGenerator(t)
+	b, err := g.Generate(enterpriseSchema(), enterpriseScripts(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := NewGraph()
+	orig.AddBundle(b, LevelFull)
+	origNodes := orig.NumNodes()
+	origKids := len(orig.Children(TableID("sales_db", "23_customer_bg")))
+
+	client := llm.NewClient(llm.GPT4, "clone-test")
+	before := NewRetriever(orig, client).Retrieve("income after tax", 5)
+
+	cl := orig.Clone()
+	if cl.NumNodes() != origNodes {
+		t.Fatalf("clone nodes = %d, want %d", cl.NumNodes(), origNodes)
+	}
+	cl.AddJargon(JargonEntry{
+		Term:         "megarev",
+		Definition:   "income after tax",
+		Aliases:      []string{"mega revenue"},
+		MapsToColumn: "shouldincome_after",
+	})
+	cl.AddAlias("bg table", TableID("sales_db", "23_customer_bg"))
+
+	if orig.NumNodes() != origNodes {
+		t.Errorf("original node count changed after clone mutation: %d != %d", orig.NumNodes(), origNodes)
+	}
+	if _, ok := orig.Node("jargon:megarev"); ok {
+		t.Error("clone's jargon node leaked into the original")
+	}
+	if got := len(orig.Children(TableID("sales_db", "23_customer_bg"))); got != origKids {
+		t.Errorf("original children slice changed: %d != %d", got, origKids)
+	}
+	if _, ok := cl.Node("jargon:megarev"); !ok {
+		t.Error("clone missing its own jargon node")
+	}
+
+	// Retrieval over the original must be unaffected by the clone's new
+	// index entries.
+	after := NewRetriever(orig, client).Retrieve("income after tax", 5)
+	if len(before) != len(after) {
+		t.Fatalf("original retrieval changed: %d hits vs %d", len(before), len(after))
+	}
+	for i := range before {
+		if before[i].Node.ID != after[i].Node.ID || before[i].Score != after[i].Score {
+			t.Errorf("hit %d changed: %v → %v", i, before[i], after[i])
+		}
+	}
+}
+
+// TestGraphCloneConcurrentMutation retrieves from the original graph on
+// several goroutines while clones are repeatedly taken and mutated — the
+// exact interleaving the platform's copy-on-write swap produces. Run
+// under -race in CI.
+func TestGraphCloneConcurrentMutation(t *testing.T) {
+	g := newTestGenerator(t)
+	b, err := g.Generate(enterpriseSchema(), enterpriseScripts(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := NewGraph()
+	orig.AddBundle(b, LevelFull)
+	client := llm.NewClient(llm.GPT4, "clone-race")
+
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cur := orig
+			for i := 0; i < 10; i++ {
+				cl := cur.Clone()
+				cl.AddJargon(JargonEntry{
+					Term:       fmt.Sprintf("term%d_%d", w, i),
+					Definition: "income after tax metric",
+				})
+				cur = cl
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ret := NewRetriever(orig, client)
+			for i := 0; i < 20; i++ {
+				ret.Retrieve("total income after tax by business group", 5)
+				ret.RetrieveColumns("income", 5)
+			}
+		}()
+	}
+	wg.Wait()
+}

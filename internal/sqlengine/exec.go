@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"datalab/internal/table"
 )
@@ -174,7 +175,7 @@ func (c *Catalog) Execute(stmt *SelectStmt) (*table.Table, error) {
 		}
 	}
 
-	var sel []int // nil = all rows
+	var sel *table.Selection // nil = all rows
 	if stmt.Where != nil {
 		var err error
 		sel, err = filterWhere(rel, stmt.Where)
@@ -184,6 +185,24 @@ func (c *Catalog) Execute(stmt *SelectStmt) (*table.Table, error) {
 	}
 
 	grouped := len(stmt.GroupBy) > 0 || stmt.Having != nil || selectHasAggregate(stmt)
+	// LIMIT pushdown: without grouping, ordering, or DISTINCT, only the
+	// first OFFSET+LIMIT selected rows can reach the output, so truncate
+	// the selection before projecting instead of materializing and then
+	// slicing. Span-form selections truncate without copying.
+	if !grouped && len(stmt.OrderBy) == 0 && !stmt.Distinct && stmt.Limit >= 0 {
+		keep := stmt.Limit
+		if stmt.Offset > 0 {
+			keep += stmt.Offset
+		}
+		if sel == nil {
+			if keep > rel.nrows {
+				keep = rel.nrows
+			}
+			sel = table.NewSpanSelection(table.Span{Lo: 0, Hi: keep})
+		} else {
+			sel = sel.Truncate(keep)
+		}
+	}
 	var out *table.Table
 	var err error
 	if grouped {
@@ -210,59 +229,69 @@ func applyDistinctOffsetLimit(stmt *SelectStmt, out *table.Table) *table.Table {
 	return out
 }
 
+// forceDenseSelection is a test hook: when set, filterWhere always emits
+// dense index selections, never range spans. The differential fuzz harness
+// uses it to run every query through both selection representations.
+var forceDenseSelection atomic.Bool
+
 // filterWhere evaluates the WHERE predicate over all rows and returns the
-// selection vector of passing row indices. Large scans are partitioned
-// across the worker pool.
-func filterWhere(rel *vrel, where Expr) ([]int, error) {
+// selection of passing rows. Large scans are partitioned across the worker
+// pool; each chunk evaluates the predicate over a zero-copy range view of
+// the relation (no iota index vector) and emits its passing rows as range
+// spans when they form long runs — for an all-passing chunk, one span —
+// or dense indices when they are scattered. Adjacent spans are merged
+// across chunk boundaries, so a predicate that passes everywhere yields a
+// single [0,n) span and the scan stays as zero-copy as the serial path.
+func filterWhere(rel *vrel, where Expr) (*table.Selection, error) {
 	n := rel.nrows
-	pass := make([]bool, n)
 	if n >= 2*parallelMinRows {
-		idx := iotaInts(n)
-		err := parallelChunks(n, parallelMinRows, func(lo, hi int) error {
-			col, err := evalVec(where, rel, idx[lo:hi])
+		_, nchunks := chunkLayout(n, parallelMinRows)
+		parts := make([]*table.Selection, nchunks)
+		err := parallelChunksIndexed(n, parallelMinRows, func(ci, lo, hi int) error {
+			col, err := evalVec(where, rel, table.NewSpanSelection(table.Span{Lo: lo, Hi: hi}))
 			if err != nil {
 				return err
 			}
-			fillPass(&col, pass[lo:hi])
+			parts[ci] = passSelection(&col, lo)
 			return nil
 		})
 		if err != nil {
 			return nil, err
 		}
-	} else {
-		col, err := evalVec(where, rel, nil)
-		if err != nil {
-			return nil, err
-		}
-		fillPass(&col, pass)
+		return table.MergeSelections(parts), nil
 	}
-	sel := make([]int, 0, n)
-	for i, p := range pass {
-		if p {
-			sel = append(sel, i)
-		}
+	col, err := evalVec(where, rel, nil)
+	if err != nil {
+		return nil, err
 	}
-	return sel, nil
+	return passSelection(&col, 0), nil
 }
 
-// fillPass marks rows whose predicate value is a known true, matching the
-// scalar executor's truthiness rules.
-func fillPass(col *table.Column, pass []bool) {
+// passSelection builds the selection of rows (offset by the chunk base)
+// whose predicate value is a known true, matching the scalar executor's
+// truthiness rules. col is positional: cell i is row offset+i.
+func passSelection(col *table.Column, offset int) *table.Selection {
+	var sel *table.Selection
 	if bs, nulls, ok := col.Bools(); ok {
-		for i := range bs {
-			pass[i] = bs[i] && !nulls[i]
+		sel = table.SelectionFromBools(bs, nulls, offset)
+	} else {
+		n := col.Len()
+		mask := make([]bool, n)
+		for i := 0; i < n; i++ {
+			v := col.Value(i)
+			if v.IsNull() {
+				continue
+			}
+			if b, ok := v.AsBool(); ok && b {
+				mask[i] = true
+			}
 		}
-		return
+		sel = table.SelectionFromMask(mask, offset)
 	}
-	for i := range pass {
-		v := col.Value(i)
-		if v.IsNull() {
-			continue
-		}
-		if b, ok := v.AsBool(); ok && b {
-			pass[i] = true
-		}
+	if forceDenseSelection.Load() {
+		return table.NewIndexSelection(sel.Indices())
 	}
+	return sel
 }
 
 func iotaInts(n int) []int {
@@ -417,14 +446,29 @@ func joinVRel(left, right *vrel, j JoinClause) (*vrel, error) {
 	}
 
 	out.cols = make([]table.Column, 0, nl+len(right.cols))
-	for i := range left.cols {
-		out.cols = append(out.cols, left.cols[i].Gather(lidx))
-	}
-	for i := range right.cols {
-		out.cols = append(out.cols, right.cols[i].Gather(ridx))
-	}
+	out.cols = appendGathered(out.cols, left.cols, lidx)
+	out.cols = appendGathered(out.cols, right.cols, ridx)
 	out.nrows = len(lidx)
 	return out, nil
+}
+
+// appendGathered gathers each column at the pair indices. When the indices
+// are strictly ascending (the common inner-join shape: each probe row
+// matches at most once, so runs of consecutive rows survive together), the
+// gather goes through a Selection so contiguous runs copy span-at-a-time;
+// otherwise — duplicates from multi-matches, -1 outer-join padding — it
+// falls back to the plain index gather.
+func appendGathered(dst []table.Column, cols []table.Column, idx []int) []table.Column {
+	if sel, ok := table.SelectionFromAscending(idx); ok {
+		for i := range cols {
+			dst = append(dst, cols[i].GatherSel(sel))
+		}
+		return dst
+	}
+	for i := range cols {
+		dst = append(dst, cols[i].Gather(idx))
+	}
+	return dst
 }
 
 // buildProbe hashes the right side's equi-key columns and returns a probe
@@ -551,10 +595,19 @@ func exprHasAggregate(e Expr) bool {
 }
 
 // executePlainVec projects the selected rows column-at-a-time.
-func executePlainVec(stmt *SelectStmt, rel *vrel, sel []int) (*table.Table, error) {
+func executePlainVec(stmt *SelectStmt, rel *vrel, sel *table.Selection) (*table.Table, error) {
 	items := expandItems(stmt, &rel.relSchema)
 	order := orderExprs(stmt, items)
 	n := selLen(rel, sel)
+
+	// A bare column evaluated with no selection or a single-range
+	// selection is a zero-copy view of catalog storage; copy it so the
+	// result table owns its data. With ORDER BY the Gather below already
+	// produces fresh storage.
+	sharesStorage := sel == nil
+	if sel != nil {
+		_, _, sharesStorage = sel.AsRange()
+	}
 
 	outCols := make([]table.Column, len(items))
 	for i, it := range items {
@@ -562,10 +615,7 @@ func executePlainVec(stmt *SelectStmt, rel *vrel, sel []int) (*table.Table, erro
 		if err != nil {
 			return nil, err
 		}
-		if _, isRef := it.Expr.(*ColumnRef); isRef && sel == nil && len(order) == 0 {
-			// Bare column with no filter shares catalog storage; copy so the
-			// result table owns its data. With ORDER BY the Gather below
-			// already produces fresh storage.
+		if _, isRef := it.Expr.(*ColumnRef); isRef && sharesStorage && len(order) == 0 {
 			col = col.CloneData()
 		}
 		outCols[i] = col
@@ -628,62 +678,94 @@ func buildOutputCols(name string, items []SelectItem, cols []table.Column) *tabl
 
 // --- grouping ---
 
-type grp struct{ rows []int } // absolute row indexes into the relation
+// grp is one hash-aggregation group: the selection of its absolute rows in
+// the relation. Keyed grouping scatters rows, so groups are dense-form;
+// the global-aggregate group reuses the filter's selection (or a single
+// [0,n) span), keeping unkeyed aggregation zero-copy.
+type grp struct{ sel *table.Selection }
+
+// wrapGroups converts the per-group ascending row lists built by the hash
+// loops into selections in place.
+func wrapGroups(order []*grp, rows [][]int) []*grp {
+	for i := range order {
+		order[i].sel = table.NewIndexSelection(rows[i])
+	}
+	return order
+}
 
 // hashGroups partitions the selected rows by the key columns (which are
 // indexed by selection position). Group order follows first appearance.
 // Single typed int/string keys use typed hash maps; composite or mixed
 // keys fall back to canonical key strings, computed in parallel partitions.
-func hashGroups(keyCols []*table.Column, rel *vrel, sel []int) []*grp {
+// With no key columns (global aggregates) the selection itself is the one
+// group and nothing is materialized.
+func hashGroups(keyCols []*table.Column, rel *vrel, sel *table.Selection) []*grp {
 	n := selLen(rel, sel)
 	var order []*grp
+	var rows [][]int
+
+	if len(keyCols) == 0 {
+		if n == 0 {
+			return nil
+		}
+		if sel == nil {
+			sel = table.NewSpanSelection(table.Span{Lo: 0, Hi: rel.nrows})
+		}
+		return []*grp{{sel: sel}}
+	}
 
 	if len(keyCols) == 1 {
 		if is, nulls, ok := keyCols[0].Ints(); ok {
-			m := make(map[int64]*grp, 64)
-			var nullG *grp
+			m := make(map[int64]int, 64)
+			nullG := -1
+			it := table.IterSelection(sel, rel.nrows)
 			for i := 0; i < n; i++ {
-				r := rowAt(sel, i)
+				r, _ := it.Next()
 				if nulls[i] {
-					if nullG == nil {
-						nullG = &grp{}
-						order = append(order, nullG)
+					if nullG < 0 {
+						nullG = len(order)
+						order = append(order, &grp{})
+						rows = append(rows, nil)
 					}
-					nullG.rows = append(nullG.rows, r)
+					rows[nullG] = append(rows[nullG], r)
 					continue
 				}
-				g := m[is[i]]
-				if g == nil {
-					g = &grp{}
-					m[is[i]] = g
-					order = append(order, g)
+				gi, ok := m[is[i]]
+				if !ok {
+					gi = len(order)
+					m[is[i]] = gi
+					order = append(order, &grp{})
+					rows = append(rows, nil)
 				}
-				g.rows = append(g.rows, r)
+				rows[gi] = append(rows[gi], r)
 			}
-			return order
+			return wrapGroups(order, rows)
 		}
 		if ss, nulls, ok := keyCols[0].Strings(); ok {
-			m := make(map[string]*grp, 64)
-			var nullG *grp
+			m := make(map[string]int, 64)
+			nullG := -1
+			it := table.IterSelection(sel, rel.nrows)
 			for i := 0; i < n; i++ {
-				r := rowAt(sel, i)
+				r, _ := it.Next()
 				if nulls[i] {
-					if nullG == nil {
-						nullG = &grp{}
-						order = append(order, nullG)
+					if nullG < 0 {
+						nullG = len(order)
+						order = append(order, &grp{})
+						rows = append(rows, nil)
 					}
-					nullG.rows = append(nullG.rows, r)
+					rows[nullG] = append(rows[nullG], r)
 					continue
 				}
-				g := m[ss[i]]
-				if g == nil {
-					g = &grp{}
-					m[ss[i]] = g
-					order = append(order, g)
+				gi, ok := m[ss[i]]
+				if !ok {
+					gi = len(order)
+					m[ss[i]] = gi
+					order = append(order, &grp{})
+					rows = append(rows, nil)
 				}
-				g.rows = append(g.rows, r)
+				rows[gi] = append(rows[gi], r)
 			}
-			return order
+			return wrapGroups(order, rows)
 		}
 	}
 
@@ -705,24 +787,28 @@ func hashGroups(keyCols []*table.Column, rel *vrel, sel []int) []*grp {
 	} else {
 		computeKeys(0, n) //nolint:errcheck
 	}
-	m := make(map[string]*grp, 64)
+	m := make(map[string]int, 64)
+	it := table.IterSelection(sel, rel.nrows)
 	for i := 0; i < n; i++ {
-		g := m[keys[i]]
-		if g == nil {
-			g = &grp{}
-			m[keys[i]] = g
-			order = append(order, g)
+		r, _ := it.Next()
+		gi, ok := m[keys[i]]
+		if !ok {
+			gi = len(order)
+			m[keys[i]] = gi
+			order = append(order, &grp{})
+			rows = append(rows, nil)
 		}
-		g.rows = append(g.rows, rowAt(sel, i))
+		rows[gi] = append(rows[gi], r)
 	}
-	return order
+	return wrapGroups(order, rows)
 }
 
 // vGroupEnv evaluates expressions against one group of the columnar
-// relation. Aggregates over bare columns run in typed loops.
+// relation. Aggregates over bare columns run in typed loops over the
+// group's selection (contiguous spans for the global group).
 type vGroupEnv struct {
 	rel  *vrel
-	rows []int
+	rows *table.Selection
 }
 
 func (e *vGroupEnv) resolveColumn(ref *ColumnRef) (table.Value, error) {
@@ -730,10 +816,10 @@ func (e *vGroupEnv) resolveColumn(ref *ColumnRef) (table.Value, error) {
 	if i < 0 {
 		return table.Null(), errUnknownColumn(ref)
 	}
-	if len(e.rows) == 0 {
+	if e.rows.Len() == 0 {
 		return table.Null(), nil
 	}
-	return e.rel.cols[i].Value(e.rows[0]), nil
+	return e.rel.cols[i].Value(e.rows.RowAt(0)), nil
 }
 
 func (e *vGroupEnv) resolveAggregate(fn *FuncCall) (table.Value, error) {
@@ -741,7 +827,7 @@ func (e *vGroupEnv) resolveAggregate(fn *FuncCall) (table.Value, error) {
 		if fn.Name != "COUNT" {
 			return table.Null(), fmt.Errorf("sql: %s(*) is not supported", fn.Name)
 		}
-		return table.Int(int64(len(e.rows))), nil
+		return table.Int(int64(e.rows.Len())), nil
 	}
 	if len(fn.Args) != 1 {
 		return table.Null(), fmt.Errorf("sql: aggregate %s expects one argument", fn.Name)
@@ -757,7 +843,12 @@ func (e *vGroupEnv) resolveAggregate(fn *FuncCall) (table.Value, error) {
 	var vals []table.Value
 	seen := map[string]bool{}
 	env := &vecRowEnv{rel: e.rel}
-	for _, ri := range e.rows {
+	it := table.IterSelection(e.rows, 0)
+	for {
+		ri, ok := it.Next()
+		if !ok {
+			break
+		}
 		env.row = ri
 		v, err := evalExpr(fn.Args[0], env)
 		if err != nil {
@@ -780,15 +871,15 @@ func (e *vGroupEnv) resolveAggregate(fn *FuncCall) (table.Value, error) {
 
 // aggOverColumn computes an aggregate over a bare column in typed loops,
 // without boxing each cell.
-func aggOverColumn(name string, col *table.Column, rows []int) (table.Value, error) {
+func aggOverColumn(name string, col *table.Column, rows *table.Selection) (table.Value, error) {
 	switch name {
 	case "COUNT":
 		n := 0
-		for _, r := range rows {
+		rows.ForEach(func(r int) {
 			if !col.IsNullAt(r) {
 				n++
 			}
-		}
+		})
 		return table.Int(int64(n)), nil
 	case "SUM", "AVG", "STDDEV", "MEDIAN":
 		return finishNumericAggregate(name, gatherFloats(col, rows)), nil
@@ -799,48 +890,48 @@ func aggOverColumn(name string, col *table.Column, rows []int) (table.Value, err
 }
 
 // gatherFloats extracts the float64 view of the non-NULL, numeric-
-// convertible cells at the given rows.
-func gatherFloats(col *table.Column, rows []int) []float64 {
-	out := make([]float64, 0, len(rows))
+// convertible cells at the selected rows.
+func gatherFloats(col *table.Column, rows *table.Selection) []float64 {
+	out := make([]float64, 0, rows.Len())
 	if fs, nulls, ok := col.Floats(); ok {
-		for _, r := range rows {
+		rows.ForEach(func(r int) {
 			if !nulls[r] {
 				out = append(out, fs[r])
 			}
-		}
+		})
 		return out
 	}
 	if is, nulls, ok := col.Ints(); ok {
-		for _, r := range rows {
+		rows.ForEach(func(r int) {
 			if !nulls[r] {
 				out = append(out, float64(is[r]))
 			}
-		}
+		})
 		return out
 	}
-	for _, r := range rows {
+	rows.ForEach(func(r int) {
 		if f, ok := col.FloatAt(r); ok {
 			out = append(out, f)
 		}
-	}
+	})
 	return out
 }
 
-func minMaxOverColumn(name string, col *table.Column, rows []int) table.Value {
+func minMaxOverColumn(name string, col *table.Column, rows *table.Selection) table.Value {
 	want := -1 // MIN keeps values comparing below the best
 	if name == "MAX" {
 		want = 1
 	}
 	if fs, nulls, ok := col.Floats(); ok {
 		best, found := 0.0, false
-		for _, r := range rows {
+		rows.ForEach(func(r int) {
 			if nulls[r] {
-				continue
+				return
 			}
 			if !found || (want < 0 && fs[r] < best) || (want > 0 && fs[r] > best) {
 				best, found = fs[r], true
 			}
-		}
+		})
 		if !found {
 			return table.Null()
 		}
@@ -849,36 +940,36 @@ func minMaxOverColumn(name string, col *table.Column, rows []int) table.Value {
 	if is, nulls, ok := col.Ints(); ok {
 		var best int64
 		found := false
-		for _, r := range rows {
+		rows.ForEach(func(r int) {
 			if nulls[r] {
-				continue
+				return
 			}
 			if !found || (want < 0 && is[r] < best) || (want > 0 && is[r] > best) {
 				best, found = is[r], true
 			}
-		}
+		})
 		if !found {
 			return table.Null()
 		}
 		return table.Int(best)
 	}
 	best := table.Null()
-	for _, r := range rows {
+	rows.ForEach(func(r int) {
 		if col.IsNullAt(r) {
-			continue
+			return
 		}
 		v := col.Value(r)
 		if best.IsNull() || table.Compare(v, best) == want {
 			best = v
 		}
-	}
+	})
 	return best
 }
 
 // executeGroupedVec groups the selected rows with a hash aggregator and
 // evaluates HAVING and the select list per group, in parallel across group
 // partitions for large inputs.
-func executeGroupedVec(stmt *SelectStmt, rel *vrel, sel []int) (*table.Table, error) {
+func executeGroupedVec(stmt *SelectStmt, rel *vrel, sel *table.Selection) (*table.Table, error) {
 	items := expandItems(stmt, &rel.relSchema)
 	order := orderExprs(stmt, items)
 	n := selLen(rel, sel)
@@ -903,7 +994,7 @@ func executeGroupedVec(stmt *SelectStmt, rel *vrel, sel []int) (*table.Table, er
 	}
 	outs := make([]groupOut, len(groups))
 	evalGroup := func(gi int) error {
-		ev := &vGroupEnv{rel: rel, rows: groups[gi].rows}
+		ev := &vGroupEnv{rel: rel, rows: groups[gi].sel}
 		if stmt.Having != nil {
 			hv, err := evalExpr(stmt.Having, ev)
 			if err != nil {

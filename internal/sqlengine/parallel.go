@@ -17,14 +17,11 @@ var workerSem = make(chan struct{}, runtime.GOMAXPROCS(0))
 // serial: goroutine handoff costs more than the scan itself.
 const parallelMinRows = 4096
 
-// parallelChunks splits [0, n) into at most GOMAXPROCS contiguous chunks of
-// at least minChunk elements and runs fn on each, returning the first error.
-// fn must only write to per-chunk (disjoint) state. Chunks run on pool
-// workers when slots are free and inline otherwise; with one chunk the call
-// is plain function invocation.
-func parallelChunks(n, minChunk int, fn func(lo, hi int) error) error {
+// chunkLayout computes the partitioning parallelChunks uses: the chunk
+// size and the number of chunks [0, n) splits into.
+func chunkLayout(n, minChunk int) (size, count int) {
 	if n <= 0 {
-		return nil
+		return 0, 0
 	}
 	if minChunk < 1 {
 		minChunk = 1
@@ -34,7 +31,31 @@ func parallelChunks(n, minChunk int, fn func(lo, hi int) error) error {
 		nchunks = max
 	}
 	if nchunks <= 1 {
-		return fn(0, n)
+		return n, 1
+	}
+	size = (n + nchunks - 1) / nchunks
+	return size, (n + size - 1) / size
+}
+
+// parallelChunks splits [0, n) into at most GOMAXPROCS contiguous chunks of
+// at least minChunk elements and runs fn on each, returning the first error.
+// fn must only write to per-chunk (disjoint) state. Chunks run on pool
+// workers when slots are free and inline otherwise; with one chunk the call
+// is plain function invocation.
+func parallelChunks(n, minChunk int, fn func(lo, hi int) error) error {
+	return parallelChunksIndexed(n, minChunk, func(_, lo, hi int) error { return fn(lo, hi) })
+}
+
+// parallelChunksIndexed is parallelChunks with the chunk's ordinal (dense,
+// 0-based, matching the count from chunkLayout) passed to fn, so chunks can
+// deposit results into a preallocated slice without synchronization.
+func parallelChunksIndexed(n, minChunk int, fn func(ci, lo, hi int) error) error {
+	size, count := chunkLayout(n, minChunk)
+	if count == 0 {
+		return nil
+	}
+	if count == 1 {
+		return fn(0, 0, n)
 	}
 	var (
 		wg       sync.WaitGroup
@@ -51,8 +72,7 @@ func parallelChunks(n, minChunk int, fn func(lo, hi int) error) error {
 		}
 		mu.Unlock()
 	}
-	size := (n + nchunks - 1) / nchunks
-	for lo := 0; lo < n; lo += size {
+	for ci, lo := 0, 0; lo < n; ci, lo = ci+1, lo+size {
 		hi := lo + size
 		if hi > n {
 			hi = n
@@ -60,13 +80,13 @@ func parallelChunks(n, minChunk int, fn func(lo, hi int) error) error {
 		select {
 		case workerSem <- struct{}{}:
 			wg.Add(1)
-			go func(lo, hi int) {
+			go func(ci, lo, hi int) {
 				defer wg.Done()
 				defer func() { <-workerSem }()
-				record(fn(lo, hi))
-			}(lo, hi)
+				record(fn(ci, lo, hi))
+			}(ci, lo, hi)
 		default:
-			record(fn(lo, hi))
+			record(fn(ci, lo, hi))
 		}
 	}
 	wg.Wait()

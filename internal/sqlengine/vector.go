@@ -18,25 +18,18 @@ import (
 // kinds on empty outputs) are documented in docs/ARCHITECTURE.md.
 
 // selLen returns the number of selected rows (sel == nil means all rows).
-func selLen(rel *vrel, sel []int) int {
+func selLen(rel *vrel, sel *table.Selection) int {
 	if sel == nil {
 		return rel.nrows
 	}
-	return len(sel)
-}
-
-// rowAt maps a position in the selection to an absolute row index.
-func rowAt(sel []int, i int) int {
-	if sel == nil {
-		return i
-	}
-	return sel[i]
+	return sel.Len()
 }
 
 // evalVec evaluates e over the selected rows of rel, returning a column of
 // length selLen(rel, sel). Columns returned for bare column references with
-// a nil selection share storage with rel and must be treated as read-only.
-func evalVec(e Expr, rel *vrel, sel []int) (table.Column, error) {
+// a nil selection or a single-range selection share storage with rel (zero
+// copy) and must be treated as read-only.
+func evalVec(e Expr, rel *vrel, sel *table.Selection) (table.Column, error) {
 	n := selLen(rel, sel)
 	switch x := e.(type) {
 	case *Literal:
@@ -49,7 +42,10 @@ func evalVec(e Expr, rel *vrel, sel []int) (table.Column, error) {
 		if sel == nil {
 			return rel.cols[i], nil
 		}
-		return rel.cols[i].Gather(sel), nil
+		if lo, hi, ok := sel.AsRange(); ok {
+			return rel.cols[i].View(lo, hi), nil
+		}
+		return rel.cols[i].GatherSel(sel), nil
 	case *Binary:
 		return evalVecBinary(x, rel, sel)
 	case *Unary:
@@ -83,13 +79,14 @@ func evalVec(e Expr, rel *vrel, sel []int) (table.Column, error) {
 // rowFallback evaluates e row-at-a-time with the scalar evaluator over the
 // columnar relation. It preserves scalar semantics exactly (including
 // short-circuit error behaviour within the expression).
-func rowFallback(e Expr, rel *vrel, sel []int) (table.Column, error) {
+func rowFallback(e Expr, rel *vrel, sel *table.Selection) (table.Column, error) {
 	n := selLen(rel, sel)
 	vals := make([]table.Value, n)
 	kind := table.KindNull
 	env := &vecRowEnv{rel: rel}
+	it := table.IterSelection(sel, rel.nrows)
 	for i := 0; i < n; i++ {
-		env.row = rowAt(sel, i)
+		env.row, _ = it.Next()
 		v, err := evalExpr(e, env)
 		if err != nil {
 			return table.Column{}, err
@@ -173,7 +170,7 @@ func asFloats(c *table.Column) ([]float64, []bool, bool) {
 	return nil, nil, false
 }
 
-func evalVecUnary(x *Unary, rel *vrel, sel []int) (table.Column, error) {
+func evalVecUnary(x *Unary, rel *vrel, sel *table.Selection) (table.Column, error) {
 	col, err := evalVec(x.X, rel, sel)
 	if err != nil {
 		return table.Column{}, err
@@ -212,7 +209,7 @@ func copyBools(b []bool) []bool {
 	return append([]bool(nil), b...)
 }
 
-func evalVecBinary(b *Binary, rel *vrel, sel []int) (table.Column, error) {
+func evalVecBinary(b *Binary, rel *vrel, sel *table.Selection) (table.Column, error) {
 	switch b.Op {
 	case "AND", "OR":
 		return evalVecLogic(b, rel, sel)
@@ -232,7 +229,7 @@ func evalVecBinary(b *Binary, rel *vrel, sel []int) (table.Column, error) {
 // evaluated for all rows; if the right side errors (the scalar evaluator
 // might have short-circuited past the failing row), the whole node falls
 // back to the row-at-a-time path, which short-circuits identically.
-func evalVecLogic(b *Binary, rel *vrel, sel []int) (table.Column, error) {
+func evalVecLogic(b *Binary, rel *vrel, sel *table.Selection) (table.Column, error) {
 	lcol, err := evalVec(b.L, rel, sel)
 	if err != nil {
 		return table.Column{}, err
@@ -294,7 +291,7 @@ func truthVec(c *table.Column, n int) (b, known []bool) {
 	return b, known
 }
 
-func evalVecCompare(b *Binary, rel *vrel, sel []int) (table.Column, error) {
+func evalVecCompare(b *Binary, rel *vrel, sel *table.Selection) (table.Column, error) {
 	lcol, err := evalVec(b.L, rel, sel)
 	if err != nil {
 		return table.Column{}, err
@@ -383,7 +380,7 @@ func evalVecCompare(b *Binary, rel *vrel, sel []int) (table.Column, error) {
 	return rowFallback(b, rel, sel)
 }
 
-func evalVecArith(b *Binary, rel *vrel, sel []int) (table.Column, error) {
+func evalVecArith(b *Binary, rel *vrel, sel *table.Selection) (table.Column, error) {
 	lcol, err := evalVec(b.L, rel, sel)
 	if err != nil {
 		return table.Column{}, err
@@ -458,7 +455,7 @@ func evalVecArith(b *Binary, rel *vrel, sel []int) (table.Column, error) {
 	return rowFallback(b, rel, sel)
 }
 
-func evalVecLike(b *Binary, rel *vrel, sel []int) (table.Column, error) {
+func evalVecLike(b *Binary, rel *vrel, sel *table.Selection) (table.Column, error) {
 	lit, ok := b.R.(*Literal)
 	if !ok || lit.Value.Kind != table.KindString {
 		return rowFallback(b, rel, sel)
@@ -485,7 +482,7 @@ func evalVecLike(b *Binary, rel *vrel, sel []int) (table.Column, error) {
 	return table.ColumnFromBools("", out, nulls), nil
 }
 
-func evalVecConcat(b *Binary, rel *vrel, sel []int) (table.Column, error) {
+func evalVecConcat(b *Binary, rel *vrel, sel *table.Selection) (table.Column, error) {
 	lcol, err := evalVec(b.L, rel, sel)
 	if err != nil {
 		return table.Column{}, err
@@ -514,7 +511,7 @@ func evalVecConcat(b *Binary, rel *vrel, sel []int) (table.Column, error) {
 
 // evalVecBetween vectorizes X BETWEEN lo AND hi for numeric X with non-NULL
 // numeric literal bounds. ok=false means the caller should fall back.
-func evalVecBetween(x *Between, rel *vrel, sel []int) (table.Column, bool, error) {
+func evalVecBetween(x *Between, rel *vrel, sel *table.Selection) (table.Column, bool, error) {
 	loLit, ok1 := x.Lo.(*Literal)
 	hiLit, ok2 := x.Hi.(*Literal)
 	if !ok1 || !ok2 {
@@ -555,7 +552,7 @@ func isNumericLit(v table.Value) bool {
 // all-numeric list, or typed string with an all-string list. Mixed-kind
 // membership (which compares through table.Equal's lenient rules) falls
 // back. NULL list entries are ignored, matching the scalar evaluator.
-func evalVecIn(x *In, rel *vrel, sel []int) (table.Column, bool, error) {
+func evalVecIn(x *In, rel *vrel, sel *table.Selection) (table.Column, bool, error) {
 	lits := make([]table.Value, 0, len(x.Values))
 	for _, cand := range x.Values {
 		lit, ok := cand.(*Literal)

@@ -328,6 +328,84 @@ func (c *Column) Gather(idx []int) Column {
 	return out
 }
 
+// GatherSel returns a new column holding the selected cells in order. Span
+// runs are copied range-at-a-time (memcpy on the typed slices) instead of
+// cell-at-a-time; dense selections delegate to Gather. A nil selection
+// selects nothing. Unlike View, the result always owns its storage.
+func (c *Column) GatherSel(s *Selection) Column {
+	spans, ok := s.Spans()
+	if !ok {
+		return c.Gather(s.Indices())
+	}
+	n := s.Len()
+	out := Column{Name: c.Name, Kind: c.Kind, length: n}
+	if c.boxed != nil {
+		out.boxed = make([]Value, 0, n)
+		for _, sp := range spans {
+			out.boxed = append(out.boxed, c.boxed[sp.Lo:sp.Hi]...)
+		}
+		return out
+	}
+	out.nulls = make([]bool, 0, n)
+	for _, sp := range spans {
+		out.nulls = append(out.nulls, c.nulls[sp.Lo:sp.Hi]...)
+	}
+	switch c.Kind {
+	case KindInt:
+		out.ints = make([]int64, 0, n)
+		for _, sp := range spans {
+			out.ints = append(out.ints, c.ints[sp.Lo:sp.Hi]...)
+		}
+	case KindFloat:
+		out.floats = make([]float64, 0, n)
+		for _, sp := range spans {
+			out.floats = append(out.floats, c.floats[sp.Lo:sp.Hi]...)
+		}
+	case KindString:
+		out.strs = make([]string, 0, n)
+		for _, sp := range spans {
+			out.strs = append(out.strs, c.strs[sp.Lo:sp.Hi]...)
+		}
+	case KindBool:
+		out.bools = make([]bool, 0, n)
+		for _, sp := range spans {
+			out.bools = append(out.bools, c.bools[sp.Lo:sp.Hi]...)
+		}
+	case KindTime:
+		out.times = make([]time.Time, 0, n)
+		for _, sp := range spans {
+			out.times = append(out.times, c.times[sp.Lo:sp.Hi]...)
+		}
+	}
+	return out
+}
+
+// View returns a zero-copy view of cells [lo, hi): the result shares
+// storage with c. Views are strictly read-only — appending to or setting a
+// cell of a view would clobber (or race with) the parent column — and are
+// only handed to code that treats relation columns as immutable.
+func (c *Column) View(lo, hi int) Column {
+	out := Column{Name: c.Name, Kind: c.Kind, length: hi - lo}
+	if c.boxed != nil {
+		out.boxed = c.boxed[lo:hi:hi]
+		return out
+	}
+	out.nulls = c.nulls[lo:hi:hi]
+	switch c.Kind {
+	case KindInt:
+		out.ints = c.ints[lo:hi:hi]
+	case KindFloat:
+		out.floats = c.floats[lo:hi:hi]
+	case KindString:
+		out.strs = c.strs[lo:hi:hi]
+	case KindBool:
+		out.bools = c.bools[lo:hi:hi]
+	case KindTime:
+		out.times = c.times[lo:hi:hi]
+	}
+	return out
+}
+
 // SliceRange returns a copy of cells [lo, hi).
 func (c *Column) SliceRange(lo, hi int) Column {
 	out := Column{Name: c.Name, Kind: c.Kind, length: hi - lo}
