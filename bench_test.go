@@ -331,6 +331,49 @@ func BenchmarkSelectivity100(b *testing.B) { benchSelectivity(b, "id >= 0") }
 func BenchmarkSelectivity1Scattered(b *testing.B)  { benchSelectivity(b, "id % 100 = 0") }
 func BenchmarkSelectivity50Scattered(b *testing.B) { benchSelectivity(b, "id % 2 = 0") }
 
+// --- ORDER BY sweep ---
+//
+// One benchmark per ORDER BY shape over the 100k-row table. allocs/op is
+// the boxing signal: the typed sort kernel must not box a Value per
+// comparison, and ORDER BY + LIMIT k must keep a bounded heap instead of
+// sorting all 100k rows. Scalar variants pin the row-at-a-time reference
+// for the speedup tables. Run:
+//
+//	go test -run xxx -bench=OrderBy -benchmem
+
+func benchOrderBy(b *testing.B, q string, scalar bool) {
+	b.Helper()
+	cat := benchBigCatalog(benchRows)
+	run := cat.Query
+	if scalar {
+		run = cat.QueryScalar
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := run(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+const (
+	benchOrderByQuery         = "SELECT id, amount FROM big ORDER BY amount"
+	benchOrderByLimitQuery    = "SELECT id, amount FROM big ORDER BY amount DESC LIMIT 10"
+	benchOrderByMultiKeyQuery = "SELECT region, qty, amount FROM big ORDER BY region, qty DESC, amount"
+	benchOrderByOffsetQuery   = "SELECT id, amount FROM big ORDER BY amount LIMIT 10 OFFSET 1000"
+)
+
+func BenchmarkOrderBy100k(b *testing.B)        { benchOrderBy(b, benchOrderByQuery, false) }
+func BenchmarkOrderBy100kScalar(b *testing.B)  { benchOrderBy(b, benchOrderByQuery, true) }
+func BenchmarkOrderByLimit(b *testing.B)       { benchOrderBy(b, benchOrderByLimitQuery, false) }
+func BenchmarkOrderByLimitScalar(b *testing.B) { benchOrderBy(b, benchOrderByLimitQuery, true) }
+func BenchmarkOrderByMultiKey(b *testing.B)    { benchOrderBy(b, benchOrderByMultiKeyQuery, false) }
+func BenchmarkOrderByLimitOffset(b *testing.B) { benchOrderBy(b, benchOrderByOffsetQuery, false) }
+func BenchmarkOrderByFiltered(b *testing.B) {
+	benchOrderBy(b, "SELECT id, amount FROM big WHERE qty < 7 ORDER BY amount DESC LIMIT 25", false)
+}
+
 // BenchmarkConcurrentQuery measures throughput with many goroutines sharing
 // the catalog and the engine's bounded worker pool.
 func BenchmarkConcurrentQuery(b *testing.B) {

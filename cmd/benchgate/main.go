@@ -1,0 +1,144 @@
+// Command benchgate compares two `go test -bench` outputs and fails when
+// the geometric-mean ns/op regression exceeds a threshold. CI runs it as
+// the benchmark-regression gate: benchmarks run on the merge-base and on
+// the PR head, benchstat renders the human-readable comparison artifact,
+// and benchgate decides pass/fail deterministically (benchstat's output
+// format is not a stable parsing target).
+//
+// Usage:
+//
+//	benchgate [-threshold 1.20] [-min-common 1] base.txt head.txt
+//
+// Benchmarks are matched by name with the -N GOMAXPROCS suffix stripped;
+// multiple runs of one benchmark (from -count) average their ns/op.
+// Benchmarks present in only one file are reported but do not gate, so
+// newly added benchmark families pass on the PR that introduces them.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// benchLine matches one benchmark result line, e.g.
+//
+//	BenchmarkOrderByLimit-8   	     100	   1650612 ns/op	 6296 B/op	78 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.eE+]+) ns/op`)
+
+// parseBench reads a `go test -bench` output and returns mean ns/op per
+// benchmark name.
+func parseBench(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	sums := map[string]float64{}
+	counts := map[string]int{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil || ns <= 0 {
+			continue
+		}
+		sums[m[1]] += ns
+		counts[m[1]]++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	means := make(map[string]float64, len(sums))
+	for name, sum := range sums {
+		means[name] = sum / float64(counts[name])
+	}
+	return means, nil
+}
+
+// compare computes per-benchmark head/base ns/op ratios over the common
+// names and their geometric mean. Names in only one input are returned
+// separately for reporting.
+func compare(base, head map[string]float64) (ratios map[string]float64, geomean float64, onlyBase, onlyHead []string) {
+	ratios = map[string]float64{}
+	logSum := 0.0
+	for name, b := range base {
+		h, ok := head[name]
+		if !ok {
+			onlyBase = append(onlyBase, name)
+			continue
+		}
+		r := h / b
+		ratios[name] = r
+		logSum += math.Log(r)
+	}
+	for name := range head {
+		if _, ok := base[name]; !ok {
+			onlyHead = append(onlyHead, name)
+		}
+	}
+	sort.Strings(onlyBase)
+	sort.Strings(onlyHead)
+	if len(ratios) == 0 {
+		return ratios, 1, onlyBase, onlyHead
+	}
+	return ratios, math.Exp(logSum / float64(len(ratios))), onlyBase, onlyHead
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 1.20, "fail when geomean(head/base ns/op) exceeds this")
+	minRuns := flag.Int("min-common", 1, "fail when fewer than this many benchmarks are common to both files")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchgate [-threshold 1.20] [-min-common 1] base.txt head.txt")
+		os.Exit(2)
+	}
+	base, err := parseBench(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	head, err := parseBench(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	ratios, geomean, onlyBase, onlyHead := compare(base, head)
+
+	names := make([]string, 0, len(ratios))
+	for name := range ratios {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("%-40s base %12.0f ns/op  head %12.0f ns/op  ratio %.3f\n",
+			name, base[name], head[name], ratios[name])
+	}
+	for _, name := range onlyBase {
+		fmt.Printf("%-40s only in base (ignored)\n", name)
+	}
+	for _, name := range onlyHead {
+		fmt.Printf("%-40s only in head (new, ignored)\n", name)
+	}
+	if len(ratios) < *minRuns {
+		fmt.Printf("FAIL: only %d common benchmark(s), need %d\n", len(ratios), *minRuns)
+		os.Exit(1)
+	}
+	fmt.Printf("geomean head/base ns/op ratio: %.3f (threshold %.2f over %d benchmarks)\n",
+		geomean, *threshold, len(ratios))
+	if geomean > *threshold {
+		fmt.Println("FAIL: benchmark regression gate exceeded")
+		os.Exit(1)
+	}
+	fmt.Println("PASS")
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const baseOut = `goos: linux
+goarch: amd64
+BenchmarkSelectivity50-8     	     100	   1000000 ns/op	 1127232 B/op	      51 allocs/op
+BenchmarkSelectivity50-8     	     100	   3000000 ns/op	 1127232 B/op	      51 allocs/op
+BenchmarkOrderByLimit-8      	     100	    500000 ns/op
+BenchmarkRemoved-8           	     100	    100000 ns/op
+PASS
+`
+
+const headOut = `goos: linux
+BenchmarkSelectivity50-16    	     100	   4000000 ns/op
+BenchmarkOrderByLimit        	     100	    250000 ns/op
+BenchmarkBrandNew-16         	     100	    777000 ns/op
+PASS
+`
+
+func TestParseBenchAveragesRuns(t *testing.T) {
+	means, err := parseBench(writeTemp(t, "base.txt", baseOut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := means["BenchmarkSelectivity50"]; got != 2000000 {
+		t.Errorf("Selectivity50 mean = %v, want 2000000 (average of two -count runs)", got)
+	}
+	if got := means["BenchmarkOrderByLimit"]; got != 500000 {
+		t.Errorf("OrderByLimit mean = %v, want 500000", got)
+	}
+	if len(means) != 3 {
+		t.Errorf("parsed %d benchmarks, want 3", len(means))
+	}
+}
+
+func TestCompareGeomeanAndNewBenchmarks(t *testing.T) {
+	base, err := parseBench(writeTemp(t, "base.txt", baseOut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	head, err := parseBench(writeTemp(t, "head.txt", headOut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratios, geomean, onlyBase, onlyHead := compare(base, head)
+	// Selectivity50: 4e6/2e6 = 2.0 (GOMAXPROCS suffix stripped across
+	// machines); OrderByLimit: 0.5. Geomean = sqrt(2 * 0.5) = 1.
+	if len(ratios) != 2 {
+		t.Fatalf("common ratios = %v, want 2 entries", ratios)
+	}
+	if r := ratios["BenchmarkSelectivity50"]; math.Abs(r-2.0) > 1e-9 {
+		t.Errorf("Selectivity50 ratio = %v, want 2.0", r)
+	}
+	if math.Abs(geomean-1.0) > 1e-9 {
+		t.Errorf("geomean = %v, want 1.0", geomean)
+	}
+	if len(onlyBase) != 1 || onlyBase[0] != "BenchmarkRemoved" {
+		t.Errorf("onlyBase = %v, want [BenchmarkRemoved]", onlyBase)
+	}
+	if len(onlyHead) != 1 || onlyHead[0] != "BenchmarkBrandNew" {
+		t.Errorf("onlyHead = %v, want [BenchmarkBrandNew] (new benchmarks must not gate)", onlyHead)
+	}
+}
+
+func TestCompareNoCommon(t *testing.T) {
+	ratios, geomean, _, _ := compare(
+		map[string]float64{"BenchmarkA": 1},
+		map[string]float64{"BenchmarkB": 1})
+	if len(ratios) != 0 || geomean != 1 {
+		t.Errorf("disjoint inputs: ratios=%v geomean=%v, want empty and 1", ratios, geomean)
+	}
+}

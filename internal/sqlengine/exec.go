@@ -2,7 +2,6 @@ package sqlengine
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -630,7 +629,12 @@ func executePlainVec(stmt *SelectStmt, rel *vrel, sel *table.Selection) (*table.
 			}
 			keyCols[k] = col
 		}
-		perm := sortPerm(keyCols, order, n)
+		var perm []int
+		if keep, bounded := topKBound(stmt, n); bounded {
+			perm = topKPerm(keyCols, order, n, keep)
+		} else {
+			perm = sortPerm(keyCols, order, n)
+		}
 		for i := range outCols {
 			outCols[i] = outCols[i].Gather(perm)
 		}
@@ -638,24 +642,21 @@ func executePlainVec(stmt *SelectStmt, rel *vrel, sel *table.Selection) (*table.
 	return buildOutputCols(stmt.From, items, outCols), nil
 }
 
-// sortPerm returns the stable row permutation ordering the key columns.
-func sortPerm(keyCols []table.Column, order []OrderItem, n int) []int {
-	perm := iotaInts(n)
-	sort.SliceStable(perm, func(a, b int) bool {
-		ra, rb := perm[a], perm[b]
-		for k := range order {
-			c := table.Compare(keyCols[k].Value(ra), keyCols[k].Value(rb))
-			if c == 0 {
-				continue
-			}
-			if order[k].Desc {
-				return c > 0
-			}
-			return c < 0
-		}
-		return false
-	})
-	return perm
+// topKBound reports how many leading rows of the sorted order can reach
+// the output: with ORDER BY ... LIMIT k OFFSET m, only the first k+m (the
+// heap must retain the OFFSET rows too — they are discarded after the
+// sort, not before). DISTINCT disables the bound, because deduplication
+// runs after ordering and dropped duplicates would pull rows from beyond
+// k+m into the window.
+func topKBound(stmt *SelectStmt, n int) (int, bool) {
+	if stmt.Limit < 0 || stmt.Distinct {
+		return 0, false
+	}
+	keep := stmt.Limit + stmt.Offset
+	if keep < 0 || keep >= n { // overflowed or no smaller than a full sort
+		return 0, false
+	}
+	return keep, true
 }
 
 // buildOutputCols assembles the result table from already-computed columns.

@@ -69,6 +69,15 @@ func FuzzDifferentialSQL(f *testing.F) {
 	f.Add(int64(6), uint16(128), uint8(30))
 	f.Add(int64(7), uint16(517), uint8(30))
 	f.Add(int64(8), uint16(301), uint8(30))
+	// Seeds added with the typed ORDER BY kernel: the query generator now
+	// emits multi-key ORDER BY (mixed ASC/DESC over duplicate-heavy and
+	// NULL-bearing keys), ORDER BY + LIMIT + OFFSET (including offsets
+	// beyond the table), and boxed mixed-kind sort keys, so these inputs
+	// drive the top-K heap and both comparator paths through the
+	// three-way differential check.
+	f.Add(int64(9), uint16(650), uint8(45))
+	f.Add(int64(10), uint16(88), uint8(45))
+	f.Add(int64(11), uint16(2), uint8(40))
 	f.Fuzz(diffOneSeed)
 }
 
@@ -103,6 +112,10 @@ func TestRangeSelectionLargeParallelScan(t *testing.T) {
 		"SELECT a FROM data WHERE e < 3 LIMIT 7",                                 // LIMIT pushdown, no ORDER BY
 		"SELECT a FROM data LIMIT 5 OFFSET 3",                                    // LIMIT pushdown over nil sel
 		"SELECT a, b FROM data WHERE b > -100 ORDER BY a DESC LIMIT 9",
+		"SELECT a, b, c FROM data ORDER BY c DESC, a, b DESC",           // parallel multi-key full sort
+		"SELECT a, e FROM data ORDER BY e, a DESC LIMIT 40 OFFSET 9000", // top-K window near the end
+		"SELECT a FROM data ORDER BY a LIMIT 3 OFFSET 20000",            // OFFSET beyond the table
+		"SELECT b FROM data WHERE e <> 2 ORDER BY b DESC LIMIT 11",      // top-K over filtered selection
 	}
 	for _, q := range queries {
 		vec, vecErr := c.Query(q)

@@ -239,11 +239,24 @@ func randQuery(rng *rand.Rand) string {
 			}
 		}
 		sb.WriteString(" ORDER BY 1")
+		if len(items) > 1 && rng.Intn(2) == 0 {
+			sb.WriteString(" DESC, 2")
+		}
+		if rng.Intn(4) == 0 {
+			sb.WriteString(fmt.Sprintf(" LIMIT %d", rng.Intn(8)))
+			if rng.Intn(2) == 0 {
+				sb.WriteString(fmt.Sprintf(" OFFSET %d", rng.Intn(6)))
+			}
+		}
 		return sb.String()
 	}
 
 	cols := []string{"a", "b", "c", "d", "e", "a + e", "a * 2", "b - a", "UPPER(c)", "ABS(a)",
-		"CASE WHEN a > 5 THEN 'hi' WHEN a > 0 THEN 'mid' ELSE 'lo' END"}
+		"CASE WHEN a > 5 THEN 'hi' WHEN a > 0 THEN 'mid' ELSE 'lo' END",
+		// Mixed-kind result: the projected column degrades to boxed
+		// storage, so ORDER BY referencing its position exercises the
+		// typed sort kernel's boxed-comparator fallback.
+		"CASE WHEN a > 5 THEN a ELSE c END"}
 	nitems := 1 + rng.Intn(3)
 	items := make([]string, nitems)
 	for i := range items {
@@ -269,15 +282,35 @@ func randQuery(rng *rand.Rand) string {
 		sb.WriteString(randPredicate(rng, 2))
 	}
 	if rng.Intn(2) == 0 {
-		sb.WriteString(fmt.Sprintf(" ORDER BY %d", 1+rng.Intn(nitems)))
-		if rng.Intn(2) == 0 {
-			sb.WriteString(" DESC")
+		// Multi-key ORDER BY with mixed ASC/DESC, mixing 1-based output
+		// positions with base-table columns (which need not appear in the
+		// select list). Duplicate-heavy key columns (c, d, e) make ties
+		// common, so the typed kernel's stability is differentially
+		// checked against the scalar stable sort.
+		nkeys := 1 + rng.Intn(3)
+		keys := make([]string, nkeys)
+		for i := range keys {
+			if rng.Intn(2) == 0 {
+				keys[i] = fmt.Sprintf("%d", 1+rng.Intn(nitems))
+			} else {
+				keys[i] = []string{"a", "b", "c", "d", "e"}[rng.Intn(5)]
+			}
+			if rng.Intn(2) == 0 {
+				keys[i] += " DESC"
+			}
 		}
+		sb.WriteString(" ORDER BY " + strings.Join(keys, ", "))
 	}
 	if rng.Intn(3) == 0 {
-		sb.WriteString(fmt.Sprintf(" LIMIT %d", 1+rng.Intn(20)))
+		sb.WriteString(fmt.Sprintf(" LIMIT %d", rng.Intn(21)))
 		if rng.Intn(3) == 0 {
-			sb.WriteString(fmt.Sprintf(" OFFSET %d", rng.Intn(5)))
+			// Offsets land both inside the table and beyond it (tables cap
+			// at 700 rows), so OFFSET m with m >= n is always-on coverage.
+			off := rng.Intn(5)
+			if rng.Intn(4) == 0 {
+				off = 600 + rng.Intn(300)
+			}
+			sb.WriteString(fmt.Sprintf(" OFFSET %d", off))
 		}
 	}
 	return sb.String()

@@ -1,0 +1,214 @@
+package table
+
+import "math"
+
+// Normalized sort-key encoding: each cell of an ORDER BY key column encodes
+// into a byte string whose lexicographic (memcmp) order matches Compare on
+// the original values — NULL first, then the kind's natural order. A DESC
+// key complements every encoded byte, which exactly reverses the memcmp
+// order (and so places NULLs last, mirroring what reversing an ascending
+// sort does). Composite multi-column keys are plain concatenations of the
+// per-column encodings; the variable-length string encoding is escaped and
+// terminated so no encoding is a strict prefix of another and column
+// boundaries cannot bleed into each other.
+//
+// The encoding is only defined per column kind: a whole int column encodes
+// against other int cells, a whole string column against other string
+// cells, and so on. Mixed-kind (boxed) columns, whose cells would need
+// Compare's cross-kind coercion rules, are rejected by CanEncodeSortKey and
+// handled by the engine's boxed comparator fallback.
+
+const (
+	sortKeyNull    = 0x00 // NULL sentinel: sorts before any present cell
+	sortKeyPresent = 0x01 // sentinel preceding a non-NULL payload
+
+	// String payloads escape embedded 0x00 bytes as (0x00, 0xff) and
+	// terminate with (0x00, 0x01). The terminator's second byte compares
+	// below every escape continuation and the first byte below every
+	// literal payload byte, so "a" < "a\x00x" < "ab" holds byte-wise.
+	sortKeyStrEsc     = 0xff
+	sortKeyStrTermEnd = 0x01
+)
+
+// CanEncodeSortKey reports whether c's cells have a memcmp sort-key
+// encoding: typed storage of a single kind (an all-NULL KindNull column
+// counts — every cell encodes as the NULL sentinel). Boxed mixed-kind
+// columns do not.
+func CanEncodeSortKey(c *Column) bool {
+	if !c.IsTyped() {
+		return false
+	}
+	switch c.Kind {
+	case KindNull, KindInt, KindFloat, KindString, KindBool, KindTime:
+		return true
+	default:
+		return false
+	}
+}
+
+// SortKeySpec pairs one ORDER BY key column with its direction.
+type SortKeySpec struct {
+	Col  *Column
+	Desc bool
+}
+
+// AppendSortKey appends the encoding of cell row of c to dst and returns
+// the extended buffer. The caller must have checked CanEncodeSortKey.
+// NULL cells of fixed-width kinds pad to the kind's full payload width
+// (the 0x00 sentinel already decides the comparison, so the padding bytes
+// are never order-relevant), keeping every key of such a column the same
+// length — that is what lets FixedSortKeyWidth offer stride addressing
+// without inspecting null bitmaps.
+func AppendSortKey(dst []byte, c *Column, row int, desc bool) []byte {
+	start := len(dst)
+	if c.Kind == KindNull || c.nulls[row] {
+		dst = append(dst, sortKeyNull)
+		switch c.Kind {
+		case KindInt, KindFloat:
+			dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0)
+		case KindBool:
+			dst = append(dst, 0)
+		case KindTime:
+			dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0)
+		}
+	} else {
+		dst = append(dst, sortKeyPresent)
+		switch c.Kind {
+		case KindInt:
+			dst = appendUint64Key(dst, uint64(c.ints[row])^(1<<63))
+		case KindFloat:
+			dst = appendUint64Key(dst, floatKeyBits(c.floats[row]))
+		case KindString:
+			dst = appendStringKey(dst, c.strs[row])
+		case KindBool:
+			b := byte(0)
+			if c.bools[row] {
+				b = 1
+			}
+			dst = append(dst, b)
+		case KindTime:
+			// Unix seconds (sign-flipped int64) then nanoseconds: the pair
+			// orders chronologically for every representable instant,
+			// matching Compare's Before/After.
+			t := c.times[row]
+			dst = appendUint64Key(dst, uint64(t.Unix())^(1<<63))
+			ns := uint32(t.Nanosecond())
+			dst = append(dst, byte(ns>>24), byte(ns>>16), byte(ns>>8), byte(ns))
+		}
+	}
+	if desc {
+		for i := start; i < len(dst); i++ {
+			dst[i] ^= 0xff
+		}
+	}
+	return dst
+}
+
+// appendUint64Key appends v big-endian, so byte order equals numeric order.
+func appendUint64Key(dst []byte, v uint64) []byte {
+	return append(dst,
+		byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// floatKeyBits maps a float64 to a uint64 whose unsigned order equals the
+// float order: negative floats complement all bits, non-negative floats
+// flip the sign bit. -0.0 is canonicalized to +0.0 first because Compare
+// treats them as equal, and equal values must encode identically (a byte
+// difference would break tie stability).
+func floatKeyBits(f float64) uint64 {
+	if f == 0 {
+		f = 0
+	}
+	bits := math.Float64bits(f)
+	if bits&(1<<63) != 0 {
+		return ^bits
+	}
+	return bits | 1<<63
+}
+
+// appendStringKey appends the escaped, terminated string payload.
+func appendStringKey(dst []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		if s[i] == 0x00 {
+			dst = append(dst, 0x00, sortKeyStrEsc)
+			continue
+		}
+		dst = append(dst, s[i])
+	}
+	return append(dst, 0x00, sortKeyStrTermEnd)
+}
+
+// AppendRowSortKey appends the composite encoding of one row across all
+// key columns.
+func AppendRowSortKey(dst []byte, keys []SortKeySpec, row int) []byte {
+	for _, k := range keys {
+		dst = AppendSortKey(dst, k.Col, row, k.Desc)
+	}
+	return dst
+}
+
+// FixedSortKeyWidth returns the constant per-row byte width of the
+// composite key, or 0 when any key column is a string (the only
+// variable-width encoding; NULLs of other kinds pad to full width).
+// Fixed-width keys let callers address row keys by stride instead of
+// materializing an offsets slice.
+func FixedSortKeyWidth(keys []SortKeySpec) int {
+	w := 0
+	for _, k := range keys {
+		switch k.Col.Kind {
+		case KindNull:
+			w++ // every cell is the bare sentinel
+		case KindInt, KindFloat:
+			w += 9
+		case KindBool:
+			w += 2
+		case KindTime:
+			w += 13
+		case KindString:
+			return 0
+		}
+	}
+	return w
+}
+
+// BuildSortKeys encodes rows [lo, hi) of the key columns into one shared
+// buffer. offs has hi-lo+1 entries; row lo+i's key is buf[offs[i]:offs[i+1]].
+func BuildSortKeys(keys []SortKeySpec, lo, hi int) (buf []byte, offs []int) {
+	n := hi - lo
+	offs = make([]int, n+1)
+	est := 0
+	for _, k := range keys {
+		switch k.Col.Kind {
+		case KindInt, KindFloat:
+			est += 9
+		case KindTime:
+			est += 13
+		case KindBool:
+			est += 2
+		case KindString:
+			est += 12 // sentinel + terminator + a short-string guess
+		default:
+			est++
+		}
+	}
+	buf = make([]byte, 0, n*est)
+	for i := 0; i < n; i++ {
+		offs[i] = len(buf)
+		buf = AppendRowSortKey(buf, keys, lo+i)
+	}
+	offs[n] = len(buf)
+	return buf, offs
+}
+
+// BuildFixedSortKeys is BuildSortKeys for fixed-width composite keys
+// (FixedSortKeyWidth > 0): row lo+i occupies buf[i*w : (i+1)*w], no
+// offsets slice needed.
+func BuildFixedSortKeys(keys []SortKeySpec, lo, hi, w int) []byte {
+	n := hi - lo
+	buf := make([]byte, 0, n*w)
+	for i := 0; i < n; i++ {
+		buf = AppendRowSortKey(buf, keys, lo+i)
+	}
+	return buf
+}

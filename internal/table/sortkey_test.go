@@ -1,0 +1,198 @@
+package table
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// signOf collapses a comparison result to -1/0/+1.
+func signOf(c int) int {
+	switch {
+	case c < 0:
+		return -1
+	case c > 0:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// encodeOne builds the sort key of the single value v under the column
+// machinery (a one-cell column of v's kind).
+func encodeOne(t *testing.T, v Value, desc bool) []byte {
+	t.Helper()
+	kind := v.Kind
+	c := NewColumn("k", kind)
+	c.Append(v)
+	if !CanEncodeSortKey(&c) {
+		t.Fatalf("single-kind column of %v not encodable", kind)
+	}
+	return AppendSortKey(nil, &c, 0, desc)
+}
+
+// randValueOfKind draws a random value of the given kind, NULL included.
+// The pools deliberately contain duplicates, boundary values, and strings
+// with embedded 0x00/0xff bytes and shared prefixes.
+func randValueOfKind(rng *rand.Rand, kind Kind) Value {
+	if rng.Intn(8) == 0 {
+		return Null()
+	}
+	switch kind {
+	case KindInt:
+		ints := []int64{0, 1, -1, 7, -7, 42, math.MaxInt64, math.MinInt64, 1 << 53, -(1 << 53)}
+		if rng.Intn(2) == 0 {
+			return Int(ints[rng.Intn(len(ints))])
+		}
+		return Int(int64(rng.Intn(2000) - 1000))
+	case KindFloat:
+		floats := []float64{0, math.Copysign(0, -1), 1.5, -1.5, math.MaxFloat64,
+			-math.MaxFloat64, math.SmallestNonzeroFloat64, math.Inf(1), math.Inf(-1), 3.14159}
+		if rng.Intn(2) == 0 {
+			return Float(floats[rng.Intn(len(floats))])
+		}
+		return Float(float64(rng.Intn(4000))/8 - 250)
+	case KindString:
+		strs := []string{"", "a", "ab", "a\x00", "a\x00b", "a\xffz", "b", "ba",
+			"\x00", "\x00\x00", "\xff", "zz", "red", "green"}
+		if rng.Intn(2) == 0 {
+			return Str(strs[rng.Intn(len(strs))])
+		}
+		b := make([]byte, rng.Intn(6))
+		for i := range b {
+			b[i] = byte(rng.Intn(256))
+		}
+		return Str(string(b))
+	case KindBool:
+		return Bool(rng.Intn(2) == 0)
+	case KindTime:
+		base := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+		return Time(base.Add(time.Duration(rng.Int63n(int64(200*24*time.Hour))) -
+			100*24*time.Hour + time.Duration(rng.Intn(3))*time.Nanosecond))
+	default:
+		return Null()
+	}
+}
+
+// TestSortKeyOrderMatchesCompare is the encoder's core property: for random
+// same-kind value pairs, memcmp order of the encodings must equal Compare
+// order ascending, and its reverse descending (with NULLs therefore last).
+func TestSortKeyOrderMatchesCompare(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	kinds := []Kind{KindInt, KindFloat, KindString, KindBool, KindTime}
+	for _, kind := range kinds {
+		for trial := 0; trial < 4000; trial++ {
+			a := randValueOfKind(rng, kind)
+			b := randValueOfKind(rng, kind)
+			want := signOf(Compare(a, b))
+			if got := signOf(bytes.Compare(encodeOne(t, a, false), encodeOne(t, b, false))); got != want {
+				t.Fatalf("kind %v ASC: enc order %d, Compare %d for %v vs %v", kind, got, want, a, b)
+			}
+			if got := signOf(bytes.Compare(encodeOne(t, a, true), encodeOne(t, b, true))); got != -want {
+				t.Fatalf("kind %v DESC: enc order %d, want %d for %v vs %v", kind, got, -want, a, b)
+			}
+		}
+	}
+}
+
+// TestSortKeyCompositeOrder checks multi-column keys: concatenated
+// encodings must order like the lexicographic (Compare, desc-aware)
+// comparison the engine's boxed comparator performs.
+func TestSortKeyCompositeOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	kinds := []Kind{KindString, KindInt, KindFloat, KindBool, KindTime}
+	for trial := 0; trial < 3000; trial++ {
+		nk := 1 + rng.Intn(3)
+		specKinds := make([]Kind, nk)
+		descs := make([]bool, nk)
+		for i := range specKinds {
+			specKinds[i] = kinds[rng.Intn(len(kinds))]
+			descs[i] = rng.Intn(2) == 0
+		}
+		// Two rows per key column; kindred cells so columns stay typed.
+		cols := make([]Column, nk)
+		specs := make([]SortKeySpec, nk)
+		rowA := make([]Value, nk)
+		rowB := make([]Value, nk)
+		for i := range cols {
+			rowA[i] = randValueOfKind(rng, specKinds[i])
+			rowB[i] = randValueOfKind(rng, specKinds[i])
+			cols[i] = NewColumn("k", specKinds[i])
+			cols[i].Append(rowA[i])
+			cols[i].Append(rowB[i])
+			specs[i] = SortKeySpec{Col: &cols[i], Desc: descs[i]}
+		}
+		want := 0
+		for i := 0; i < nk && want == 0; i++ {
+			c := Compare(rowA[i], rowB[i])
+			if descs[i] {
+				c = -c
+			}
+			want = signOf(c)
+		}
+		encA := AppendRowSortKey(nil, specs, 0)
+		encB := AppendRowSortKey(nil, specs, 1)
+		if got := signOf(bytes.Compare(encA, encB)); got != want {
+			t.Fatalf("composite: enc order %d, want %d for %v vs %v (desc %v)", got, want, rowA, rowB, descs)
+		}
+	}
+}
+
+// TestBuildSortKeysOffsets checks the batch builder against the per-row
+// encoder and its offset bookkeeping.
+func TestBuildSortKeysOffsets(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	col := NewColumn("s", KindString)
+	num := NewColumn("n", KindInt)
+	const n = 257
+	for i := 0; i < n; i++ {
+		col.Append(randValueOfKind(rng, KindString))
+		num.Append(randValueOfKind(rng, KindInt))
+	}
+	specs := []SortKeySpec{{Col: &col, Desc: true}, {Col: &num}}
+	buf, offs := BuildSortKeys(specs, 3, n)
+	if len(offs) != n-3+1 {
+		t.Fatalf("offs length %d, want %d", len(offs), n-3+1)
+	}
+	for i := 3; i < n; i++ {
+		want := AppendRowSortKey(nil, specs, i)
+		got := buf[offs[i-3]:offs[i-3+1]]
+		if !bytes.Equal(got, want) {
+			t.Fatalf("row %d: batch key %x, per-row key %x", i, got, want)
+		}
+	}
+}
+
+// TestSortKeyNullColumn pins the all-NULL (KindNull) column case: every
+// cell encodes as the bare sentinel, sorting before any present value.
+func TestSortKeyNullColumn(t *testing.T) {
+	c := NewColumn("x", KindNull)
+	c.AppendNull()
+	c.AppendNull()
+	if !CanEncodeSortKey(&c) {
+		t.Fatal("KindNull column should be encodable")
+	}
+	ka := AppendSortKey(nil, &c, 0, false)
+	kb := AppendSortKey(nil, &c, 1, false)
+	if !bytes.Equal(ka, kb) || len(ka) != 1 || ka[0] != 0x00 {
+		t.Fatalf("NULL keys %x / %x, want single 0x00 sentinel", ka, kb)
+	}
+	s := NewColumn("s", KindString)
+	s.Append(Str(""))
+	if bytes.Compare(ka, AppendSortKey(nil, &s, 0, false)) >= 0 {
+		t.Fatal("NULL must sort before the empty string ascending")
+	}
+}
+
+// TestSortKeyRejectsBoxed pins the fallback trigger: mixed-kind columns
+// have no memcmp encoding.
+func TestSortKeyRejectsBoxed(t *testing.T) {
+	c := NewColumn("m", KindInt)
+	c.Append(Int(1))
+	c.Append(Str("two")) // degrades to boxed storage
+	if CanEncodeSortKey(&c) {
+		t.Fatal("boxed column must not be encodable")
+	}
+}
