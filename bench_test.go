@@ -10,6 +10,7 @@ package datalab
 // (on the first iteration) and report ns/op for the full experiment.
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -372,6 +373,160 @@ func BenchmarkOrderByMultiKey(b *testing.B)    { benchOrderBy(b, benchOrderByMul
 func BenchmarkOrderByLimitOffset(b *testing.B) { benchOrderBy(b, benchOrderByOffsetQuery, false) }
 func BenchmarkOrderByFiltered(b *testing.B) {
 	benchOrderBy(b, "SELECT id, amount FROM big WHERE qty < 7 ORDER BY amount DESC LIMIT 25", false)
+}
+
+// --- result consumption: typed batches vs stringly materialization ---
+//
+// The headline pair for the typed Result API on the same 100k-row filtered
+// scan: BenchmarkResultBatches100k consumes the result through zero-copy
+// batch views and typed slab accessors (what QueryCtx callers do), while
+// BenchmarkResultStrings100k reproduces the legacy [][]string pipeline
+// (what the deprecated Platform.Query / Answer.Rows shims do: materialize
+// the output table, then box and stringify every cell). bytes/op and
+// allocs/op are the signal: the batch path must not allocate per row or
+// per cell. The Scattered pair repeats the comparison with a dense-form
+// selection, where batches gather instead of viewing. Run:
+//
+//	go test -run xxx -bench='Result|Prepared' -benchmem
+
+// benchConsumeBatches drains a Result through typed slab accessors,
+// summing the float column — the intended consumption pattern.
+func benchConsumeBatches(b *testing.B, res *Result) {
+	b.Helper()
+	var total float64
+	for batch := res.Next(); batch != nil; batch = res.Next() {
+		if fs, nulls, ok := batch.Float64s(1); ok {
+			for j, f := range fs {
+				if !nulls[j] {
+					total += f
+				}
+			}
+			continue
+		}
+		for j := 0; j < batch.NumRows(); j++ {
+			if f, ok := batch.Float64(1, j); ok {
+				total += f
+			}
+		}
+	}
+	if total == 0 {
+		b.Fatal("empty scan")
+	}
+}
+
+// benchLegacyStrings reproduces the pre-redesign tableToStrings path bit
+// for bit: a materialized result table, then one []string per row and one
+// boxed stringification per cell.
+func benchLegacyStrings(b *testing.B, cat *sqlengine.Catalog, q string) {
+	b.Helper()
+	tbl, err := cat.Query(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cols := tbl.ColumnNames()
+	rows := make([][]string, tbl.NumRows())
+	for i := range rows {
+		row := make([]string, len(cols))
+		for j, v := range tbl.Row(i) {
+			row[j] = v.AsString()
+		}
+		rows[i] = row
+	}
+	if len(rows) == 0 {
+		b.Fatal("empty scan")
+	}
+}
+
+const (
+	benchResultClusteredQuery = "SELECT id, amount FROM big WHERE id < 90000"   // one span: zero-copy batches
+	benchResultScatteredQuery = "SELECT id, amount FROM big WHERE amount > 100" // short runs: span/gather mix
+)
+
+func BenchmarkResultBatches100k(b *testing.B) {
+	cat := benchBigCatalog(benchRows)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := cat.QueryCtx(ctx, benchResultClusteredQuery)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchConsumeBatches(b, res)
+	}
+}
+
+func BenchmarkResultStrings100k(b *testing.B) {
+	cat := benchBigCatalog(benchRows)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchLegacyStrings(b, cat, benchResultClusteredQuery)
+	}
+}
+
+func BenchmarkResultBatchesScattered(b *testing.B) {
+	cat := benchBigCatalog(benchRows)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := cat.QueryCtx(ctx, benchResultScatteredQuery)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchConsumeBatches(b, res)
+	}
+}
+
+func BenchmarkResultStringsScattered(b *testing.B) {
+	cat := benchBigCatalog(benchRows)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchLegacyStrings(b, cat, benchResultScatteredQuery)
+	}
+}
+
+// --- prepared statements: parse amortization ---
+//
+// The same small aggregation, re-executed: BenchmarkPreparedExec runs a
+// Prepared handle (no parsing ever), BenchmarkPreparedExecReparse re-parses
+// the text each iteration (the pre-plan-cache cost a fresh SQL string still
+// pays). The delta is the amortized parse/plan cost.
+
+const benchPreparedQuery = "SELECT region, SUM(amount) AS total, COUNT(*) FROM big WHERE qty < 9 GROUP BY region ORDER BY total DESC LIMIT 3"
+
+func BenchmarkPreparedExec(b *testing.B) {
+	cat := benchBigCatalog(64)
+	stmt, err := cat.Prepare(benchPreparedQuery)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stmt.Exec(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPreparedExecReparse(b *testing.B) {
+	cat := benchBigCatalog(64)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stmt, err := sqlengine.Parse(benchPreparedQuery)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := cat.ExecuteResult(ctx, stmt); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkConcurrentQuery measures throughput with many goroutines sharing

@@ -4,17 +4,21 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"datalab/internal/experiments"
+	"datalab/internal/sqlengine"
+	"datalab/internal/table"
 )
 
 func main() {
 	scale := flag.Float64("scale", 1.0, "fraction of full workload sizes (0,1]")
 	seed := flag.String("seed", "datalab-v1", "experiment seed")
-	only := flag.String("only", "", "run a single experiment: table1|figure6|knowgen|table2|table3|figure7|table4")
+	only := flag.String("only", "", "run a single experiment: table1|figure6|knowgen|table2|table3|figure7|table4|engine")
 	flag.Parse()
 
 	run := func(name string) bool { return *only == "" || *only == name }
@@ -87,4 +91,92 @@ func main() {
 		}
 		fmt.Println(res.Format())
 	}
+	if run("engine") {
+		fmt.Println("== Engine: typed result consumption & prepared statements ==")
+		if err := engineDemo(int(100_000 * *scale)); err != nil {
+			fmt.Fprintln(os.Stderr, "engine:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// engineDemo contrasts the typed Result/Batch API against the legacy
+// stringly materialization on one filtered scan, and shows a prepared
+// statement amortizing parse cost across re-executions.
+func engineDemo(rows int) error {
+	if rows < 1000 {
+		rows = 1000
+	}
+	t := table.MustNew("events",
+		[]string{"id", "kind", "value"},
+		[]table.Kind{table.KindInt, table.KindString, table.KindFloat})
+	kinds := []string{"view", "click", "buy"}
+	for i := 0; i < rows; i++ {
+		t.MustAppendRow(
+			table.Int(int64(i)),
+			table.Str(kinds[i%len(kinds)]),
+			table.Float(float64((i*7919)%10000)/100),
+		)
+	}
+	cat := sqlengine.NewCatalog()
+	cat.Register(t)
+	ctx := context.Background()
+	q := fmt.Sprintf("SELECT id, value FROM events WHERE id < %d", rows*9/10)
+
+	start := time.Now()
+	res, err := cat.QueryCtx(ctx, q)
+	if err != nil {
+		return err
+	}
+	var sum float64
+	nbatches := 0
+	for b := res.Next(); b != nil; b = res.Next() {
+		nbatches++
+		if fs, nulls, ok := b.Float64s(1); ok {
+			for j, f := range fs {
+				if !nulls[j] {
+					sum += f
+				}
+			}
+		}
+	}
+	typed := time.Since(start)
+	fmt.Printf("typed batches:   %d rows in %d zero-copy batches, sum(value)=%.2f  (%v)\n",
+		res.NumRows(), nbatches, sum, typed)
+
+	// The legacy pipeline, end to end: execute into a materialized table,
+	// then box and stringify every cell (what Platform.Query used to do).
+	start = time.Now()
+	tbl, err := cat.Query(q)
+	if err != nil {
+		return err
+	}
+	strRows := make([][]string, tbl.NumRows())
+	for i := range strRows {
+		row := make([]string, tbl.NumCols())
+		for j, v := range tbl.Row(i) {
+			row[j] = v.AsString()
+		}
+		strRows[i] = row
+	}
+	stringly := time.Since(start)
+	fmt.Printf("legacy strings:  %d [][]string rows materialized            (%v, %.1fx slower)\n",
+		len(strRows), stringly, float64(stringly)/float64(typed))
+
+	stmt, err := cat.Prepare("SELECT kind, COUNT(*) AS n, SUM(value) FROM events GROUP BY kind ORDER BY n DESC")
+	if err != nil {
+		return err
+	}
+	const reps = 100
+	start = time.Now()
+	for i := 0; i < reps; i++ {
+		if _, err := stmt.Exec(ctx); err != nil {
+			return err
+		}
+	}
+	perExec := time.Since(start) / reps
+	hits, misses, size := cat.PlanCacheStats()
+	fmt.Printf("prepared stmt:   %d executions, %v/exec, zero re-parses\n", reps, perExec)
+	fmt.Printf("plan cache:      %d hits, %d misses, %d entries\n", hits, misses, size)
+	return nil
 }

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -61,6 +62,25 @@ func main() {
 	for _, kind := range []string{"python", "python2", "chart"} {
 		fmt.Printf("  %s <- %v\n", ids[kind], nb.DependsOn(ids[kind]))
 	}
+
+	// Re-run the SQL cell through the typed result API: the source was
+	// plan-cached when the cell was added, so this skips the parser, and
+	// the batches are zero-copy views over the catalog columns.
+	res, err := nb.RunSQL(context.Background(), ids["sql"])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nSQL cell %s result (%d rows): %s\n",
+		ids["sql"], res.NumRows(), strings.Join(res.Columns(), " | "))
+	var total float64
+	for b := res.Next(); b != nil; b = res.Next() {
+		for i := 0; i < b.NumRows(); i++ {
+			if v, ok := b.Float64(1, i); ok {
+				total += v
+			}
+		}
+	}
+	fmt.Printf("  sum(amount) via typed batches: %.0f\n", total)
 
 	for _, q := range []string{
 		"refine the sql extraction of orders",

@@ -1,6 +1,7 @@
 package datalab
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -64,6 +65,67 @@ func TestConcurrentAskAndQuery(t *testing.T) {
 	if n := len(p.Tables()); n < 1 {
 		t.Fatalf("tables = %d", n)
 	}
+}
+
+// TestConcurrentPreparedAndQueryCtx hammers one Platform with shared
+// prepared statements, ad-hoc QueryCtx calls (all racing on the LRU plan
+// cache), and mid-flight cancellations, from many goroutines under -race.
+// One *Stmt is deliberately shared across goroutines: prepared handles are
+// immutable and must be safe for concurrent Exec.
+func TestConcurrentPreparedAndQueryCtx(t *testing.T) {
+	p := MustNew(WithSeed("prepared-race"))
+	cols := []string{"region", "revenue"}
+	var rows [][]string
+	regions := []string{"east", "west", "north", "south"}
+	for i := 0; i < 500; i++ {
+		rows = append(rows, []string{regions[i%len(regions)], fmt.Sprintf("%d", (i*37)%900)})
+	}
+	if err := p.LoadRecords("sales", cols, rows); err != nil {
+		t.Fatal(err)
+	}
+	shared, err := p.Prepare("SELECT region, SUM(revenue) FROM sales GROUP BY region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	adhoc := []string{
+		"SELECT region, revenue FROM sales WHERE revenue > 400",
+		"SELECT revenue FROM sales ORDER BY revenue DESC LIMIT 7",
+		"SELECT COUNT(*) FROM sales WHERE region = 'east'",
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				switch (g + i) % 3 {
+				case 0:
+					res, err := shared.Exec(context.Background())
+					if err != nil {
+						t.Errorf("prepared Exec: %v", err)
+						return
+					}
+					if res.NumRows() != 4 {
+						t.Errorf("prepared Exec rows = %d", res.NumRows())
+						return
+					}
+				case 1:
+					if _, err := p.QueryCtx(context.Background(), adhoc[i%len(adhoc)]); err != nil {
+						t.Errorf("QueryCtx: %v", err)
+						return
+					}
+				default:
+					ctx, cancel := context.WithCancel(context.Background())
+					cancel() // pre-cancelled: must fail fast, never partially run
+					if _, err := p.QueryCtx(ctx, adhoc[i%len(adhoc)]); err != context.Canceled {
+						t.Errorf("cancelled QueryCtx err = %v", err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
 }
 
 // TestConcurrentLearnAndAsk stresses the knowledge graph's copy-on-write

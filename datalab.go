@@ -15,6 +15,7 @@
 package datalab
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -245,9 +246,23 @@ func (p *Platform) swapGraphLocked(graph *knowledge.Graph) {
 type Answer struct {
 	// SQL is the executed query (empty if no SQL agent ran).
 	SQL string
-	// Columns/Rows carry the SQL result set.
+	// Result is the typed, batch-iterable columnar result of SQL — the
+	// primary way to consume the result set. It is nil when no SQL ran or
+	// when executing it failed (see Err).
+	Result *Result
+	// Err records the execution error of the generated SQL, if any. Ask
+	// itself still returns nil in this case: the plan ran, the answer's
+	// other units (insights, charts) may be valid, and the SQL failure is
+	// part of the answer rather than a failure to answer.
+	Err error
+	// Columns carries the SQL result's column names.
 	Columns []string
-	Rows    [][]string
+	// Rows is the stringly materialization of the result set.
+	//
+	// Deprecated: Rows boxes and stringifies every cell. Iterate
+	// Result.Next batches with the typed accessors instead; Rows remains
+	// populated for compatibility.
+	Rows [][]string
 	// ChartJSON is the Vega-Lite-style chart spec, when a chart was asked.
 	ChartJSON string
 	// Insights carries analysis-agent findings (anomalies, associations,
@@ -284,7 +299,7 @@ func (p *Platform) Ask(query, tableName string) (*Answer, error) {
 		ans.AgentTrace = append(ans.AgentTrace, u.Role)
 		switch u.Kind {
 		case comm.KindSQL:
-			ans.SQL = firstLine(u.Content)
+			ans.SQL = sqlFromContent(u.Content)
 			p.fillRows(ans)
 		case comm.KindChart:
 			ans.ChartJSON = u.Content
@@ -299,44 +314,60 @@ func (p *Platform) Ask(query, tableName string) (*Answer, error) {
 	return ans, nil
 }
 
-// Query executes raw SQL against the catalog (the SQL-cell path).
+// QueryCtx executes raw SQL against the catalog (the SQL-cell path) and
+// returns a typed, batch-iterable Result. Parsing goes through the
+// catalog's LRU plan cache; ctx cancels mid-scan between worker-pool
+// chunks.
+func (p *Platform) QueryCtx(ctx context.Context, sql string) (*Result, error) {
+	return p.catalog.QueryCtx(ctx, sql)
+}
+
+// Prepare parses sql once and returns a reusable statement handle; Exec
+// never re-parses. Table names bind at execute time, so a prepared
+// statement observes later LoadCSV/LoadRecords registrations.
+func (p *Platform) Prepare(sql string) (*Stmt, error) {
+	return p.catalog.Prepare(sql)
+}
+
+// Query executes raw SQL and materializes the full result as strings.
+//
+// Deprecated: Query stringifies every cell of every row. Use QueryCtx and
+// iterate the Result's batches with the typed accessors; this shim remains
+// for callers that want the old shape.
 func (p *Platform) Query(sql string) (columns []string, rows [][]string, err error) {
-	res, err := p.catalog.Query(sql)
+	res, err := p.catalog.QueryCtx(context.Background(), sql)
 	if err != nil {
 		return nil, nil, err
 	}
-	return tableToStrings(res)
+	return res.Columns(), res.Strings(), nil
 }
 
+// fillRows executes the answer's SQL and attaches the typed Result plus
+// the deprecated stringly projection. Execution failures land in
+// Answer.Err instead of being silently swallowed.
 func (p *Platform) fillRows(ans *Answer) {
 	if ans.SQL == "" {
 		return
 	}
-	res, err := p.catalog.Query(ans.SQL)
+	res, err := p.catalog.QueryCtx(context.Background(), ans.SQL)
 	if err != nil {
+		ans.Err = fmt.Errorf("datalab: executing generated SQL: %w", err)
 		return
 	}
-	ans.Columns, ans.Rows, _ = tableToStrings(res)
+	ans.Result = res
+	ans.Columns = res.Columns()
+	ans.Rows = res.Strings()
 }
 
-func tableToStrings(t *table.Table) ([]string, [][]string, error) {
-	cols := t.ColumnNames()
-	rows := make([][]string, t.NumRows())
-	for i := range rows {
-		row := make([]string, len(cols))
-		for j, v := range t.Row(i) {
-			row[j] = v.AsString()
-		}
-		rows[i] = row
-	}
-	return cols, rows, nil
-}
-
-func firstLine(s string) string {
-	if i := strings.IndexByte(s, '\n'); i >= 0 {
+// sqlFromContent extracts the SQL statement from a SQL agent's unit. The
+// unit content is the statement followed by a "-- dsl:" annotation line
+// and a result preview; cutting at that marker — rather than at the first
+// newline, which mangled multi-line statements — keeps the whole query.
+func sqlFromContent(s string) string {
+	if i := strings.Index(s, "\n-- dsl:"); i >= 0 {
 		return s[:i]
 	}
-	return s
+	return strings.TrimRight(s, "\n")
 }
 
 // TokenUsage reports the platform's accumulated simulated token spend.

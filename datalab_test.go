@@ -1,8 +1,11 @@
 package datalab
 
 import (
+	"context"
 	"strings"
 	"testing"
+
+	"datalab/internal/sqlengine"
 )
 
 func demoPlatform(t *testing.T) *Platform {
@@ -45,6 +48,149 @@ func TestLoadCSVAndQuery(t *testing.T) {
 	}
 	if len(p.Tables()) != 1 {
 		t.Errorf("tables = %v", p.Tables())
+	}
+}
+
+func TestQueryCtxTypedResult(t *testing.T) {
+	p := demoPlatform(t)
+	res, err := p.QueryCtx(context.Background(), "SELECT revenue, region FROM sales WHERE revenue > 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Columns(); len(got) != 2 || got[0] != "revenue" {
+		t.Fatalf("columns = %v", got)
+	}
+	total, n := 0.0, 0
+	for b := res.Next(); b != nil; b = res.Next() {
+		for i := 0; i < b.NumRows(); i++ {
+			v, ok := b.Float64(0, i)
+			if !ok {
+				t.Fatalf("row %d: revenue not numeric", i)
+			}
+			total += v
+			n++
+		}
+	}
+	if n != res.NumRows() || n != 5 {
+		t.Fatalf("iterated %d rows, NumRows = %d, want 5", n, res.NumRows())
+	}
+	if total != 100.5+250.0+300.0+120.0+900.0 {
+		t.Fatalf("total = %v", total)
+	}
+	// The deprecated shim returns the same rows as strings.
+	cols, rows, err := p.Query("SELECT revenue, region FROM sales WHERE revenue > 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 2 || len(rows) != 5 {
+		t.Fatalf("shim = %v, %d rows", cols, len(rows))
+	}
+}
+
+func TestPlatformPrepare(t *testing.T) {
+	p := demoPlatform(t)
+	stmt, err := p.Prepare("SELECT region, SUM(revenue) AS total FROM sales GROUP BY region ORDER BY total DESC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := sqlengine.ParseCalls()
+	var first [][]string
+	for i := 0; i < 100; i++ {
+		res, err := stmt.Exec(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = res.Strings()
+			continue
+		}
+	}
+	if got := sqlengine.ParseCalls(); got != before {
+		t.Fatalf("prepared re-execution parsed %d times", got-before)
+	}
+	if len(first) != 3 || first[0][0] != "north" {
+		t.Fatalf("rows = %v", first)
+	}
+	if !strings.Contains(stmt.SQL(), "GROUP BY region") {
+		t.Fatalf("SQL() = %q", stmt.SQL())
+	}
+}
+
+func TestAnswerErrSurfacesSQLFailure(t *testing.T) {
+	p := demoPlatform(t)
+	// Drive fillRows directly with SQL that fails at execution: before the
+	// redesign the failure was silently swallowed, yielding an Answer with
+	// no rows and no error.
+	ans := &Answer{SQL: "SELECT nope FROM missing_table"}
+	p.fillRows(ans)
+	if ans.Err == nil {
+		t.Fatal("failing SQL left Answer.Err nil")
+	}
+	if !strings.Contains(ans.Err.Error(), "missing_table") {
+		t.Errorf("Err = %v", ans.Err)
+	}
+	if ans.Result != nil || ans.Rows != nil {
+		t.Errorf("failed execution still attached results: %+v", ans)
+	}
+
+	ok := &Answer{SQL: "SELECT region FROM sales"}
+	p.fillRows(ok)
+	if ok.Err != nil || ok.Result == nil || len(ok.Rows) != 6 {
+		t.Errorf("good SQL: Err=%v Result=%v rows=%d", ok.Err, ok.Result != nil, len(ok.Rows))
+	}
+}
+
+func TestSQLFromContent(t *testing.T) {
+	multi := "SELECT region,\n       SUM(revenue)\nFROM sales\nGROUP BY region"
+	content := multi + "\n-- dsl: {\"intent\":\"x\"}\nsales (3 rows)\npreview..."
+	if got := sqlFromContent(content); got != multi {
+		t.Errorf("multi-line SQL mangled: %q", got)
+	}
+	if got := sqlFromContent("SELECT 1\n"); got != "SELECT 1" {
+		t.Errorf("no-marker content = %q", got)
+	}
+}
+
+func TestAskAttachesTypedResult(t *testing.T) {
+	p := demoPlatform(t)
+	ans, err := p.Ask("total revenue by region", "sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Err != nil {
+		t.Fatalf("Answer.Err = %v", ans.Err)
+	}
+	if ans.Result == nil {
+		t.Fatal("Answer.Result is nil")
+	}
+	if got := ans.Result.Strings(); len(got) != len(ans.Rows) {
+		t.Fatalf("Result has %d rows, Rows shim has %d", len(got), len(ans.Rows))
+	}
+}
+
+func TestNotebookRunSQL(t *testing.T) {
+	p := demoPlatform(t)
+	nb := p.NewNotebook("typed")
+	id, err := nb.AddSQL("SELECT region, revenue FROM sales", "raw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := nb.RunSQL(context.Background(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 6 || res.NumCols() != 2 {
+		t.Fatalf("result shape = %dx%d", res.NumRows(), res.NumCols())
+	}
+	mdID, err := nb.AddMarkdown("## notes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nb.RunSQL(context.Background(), mdID); err == nil {
+		t.Fatal("RunSQL on a markdown cell should fail")
+	}
+	if _, err := nb.RunSQL(context.Background(), "c999"); err == nil {
+		t.Fatal("RunSQL on unknown cell should fail")
 	}
 }
 

@@ -35,9 +35,12 @@ func main() {
 
 	// Ask before learning: the cryptic schema defeats the query.
 	before, err := p.Ask("total income by product line", "23_customer_bg")
-	if err != nil {
+	switch {
+	case err != nil:
 		fmt.Println("without knowledge, the query fails:", err)
-	} else {
+	case before.Err != nil: // the SQL was generated but failed to execute
+		fmt.Println("without knowledge, generated SQL fails:", before.Err)
+	default:
 		fmt.Println("without knowledge, SQL:", orNone(before.SQL))
 	}
 
@@ -83,10 +86,13 @@ out = df.groupby("prod_class4_name").agg({"shouldincome_after": "sum"})`,
 	if err != nil {
 		log.Fatal(err)
 	}
+	if after.Err != nil {
+		log.Fatal("generated SQL failed: ", after.Err)
+	}
 	fmt.Println("\nwith knowledge, SQL:", after.SQL)
 	fmt.Println("\nresult:")
-	fmt.Println(" ", strings.Join(after.Columns, " | "))
-	for _, row := range after.Rows {
+	fmt.Println(" ", strings.Join(after.Result.Columns(), " | "))
+	for _, row := range after.Result.Strings() {
 		fmt.Println(" ", strings.Join(row, " | "))
 	}
 }

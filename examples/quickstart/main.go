@@ -31,15 +31,28 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if ans.Err != nil {
+		log.Fatal("generated SQL failed: ", ans.Err)
+	}
 
 	fmt.Println("agents involved:", strings.Join(ans.AgentTrace, " -> "))
 	fmt.Println("\ngenerated SQL:")
 	fmt.Println(" ", ans.SQL)
-	fmt.Println("\nresult:")
-	fmt.Println(" ", strings.Join(ans.Columns, " | "))
-	for _, row := range ans.Rows {
-		fmt.Println(" ", strings.Join(row, " | "))
+
+	// The typed result API: iterate columnar batches with typed accessors
+	// instead of materializing strings.
+	fmt.Println("\nresult (typed batches):")
+	fmt.Println(" ", strings.Join(ans.Result.Columns(), " | "))
+	var total float64
+	for b := ans.Result.Next(); b != nil; b = ans.Result.Next() {
+		for i := 0; i < b.NumRows(); i++ {
+			v, _ := b.Float64(1, i)
+			fmt.Printf("  %s | %.2f\n", b.String(0, i), v)
+			total += v
+		}
 	}
+	fmt.Printf("  (total across regions: %.2f)\n", total)
+
 	fmt.Println("\nchart specification:")
 	fmt.Println(ans.ChartJSON)
 

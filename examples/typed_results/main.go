@@ -1,0 +1,88 @@
+// Typed results: the direct-SQL surface of the platform. Shows the three
+// pieces the stringly Query API was redesigned into: QueryCtx returning a
+// batch-iterable columnar Result, Prepare amortizing parse cost across
+// re-executions, and context cancellation stopping a scan mid-flight.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"datalab"
+)
+
+func main() {
+	p := datalab.MustNew(datalab.WithSeed("typed-results"))
+
+	// A synthetic 200k-row clickstream, loaded straight into the catalog.
+	columns := []string{"user_id", "action", "ms"}
+	rows := make([][]string, 200_000)
+	actions := []string{"view", "click", "buy"}
+	for i := range rows {
+		rows[i] = []string{
+			fmt.Sprintf("%d", i%5000),
+			actions[i%len(actions)],
+			fmt.Sprintf("%d", (i*37)%900),
+		}
+	}
+	if err := p.LoadRecords("events", columns, rows); err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. QueryCtx: a typed Result consumed batch by batch. The plain
+	// filtered projection below never materializes anything — each batch
+	// is a zero-copy view over the catalog's column storage.
+	ctx := context.Background()
+	res, err := p.QueryCtx(ctx, "SELECT user_id, ms FROM events WHERE ms > 450")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("filtered scan: %d rows, columns %s\n",
+		res.NumRows(), strings.Join(res.Columns(), ", "))
+	var sum, n int64
+	for b := res.Next(); b != nil; b = res.Next() {
+		if ms, nulls, ok := b.Int64s(1); ok { // typed slab, zero boxing
+			for i, v := range ms {
+				if !nulls[i] {
+					sum += v
+					n++
+				}
+			}
+		}
+	}
+	fmt.Printf("mean latency of slow events: %.1f ms (over %d rows)\n\n",
+		float64(sum)/float64(n), n)
+
+	// 2. Prepare: parse once, execute on every dashboard refresh.
+	stmt, err := p.Prepare("SELECT action, COUNT(*) AS n, AVG(ms) FROM events GROUP BY action ORDER BY n DESC")
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	const refreshes = 50
+	for i := 0; i < refreshes; i++ {
+		if _, err := stmt.Exec(ctx); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("prepared dashboard query: %d refreshes, %v each, zero re-parses\n\n",
+		refreshes, time.Since(start)/refreshes)
+	last, err := stmt.Exec(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range last.Strings() { // compat materializer, when strings are what you want
+		fmt.Println("  ", strings.Join(row, " | "))
+	}
+
+	// 3. Cancellation: a context deadline bounds a query's runtime; the
+	// worker pool observes it between chunks.
+	tight, cancel := context.WithTimeout(ctx, time.Nanosecond)
+	defer cancel()
+	if _, err := p.QueryCtx(tight, "SELECT user_id, ms FROM events ORDER BY ms DESC"); err != nil {
+		fmt.Println("\ncancelled sort returned promptly:", err)
+	}
+}

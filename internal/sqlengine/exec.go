@@ -1,6 +1,7 @@
 package sqlengine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -16,11 +17,13 @@ type Catalog struct {
 	mu     sync.RWMutex
 	tables map[string]*table.Table
 	order  []string
+
+	plans *planCache
 }
 
 // NewCatalog returns an empty catalog.
 func NewCatalog() *Catalog {
-	return &Catalog{tables: map[string]*table.Table{}}
+	return &Catalog{tables: map[string]*table.Table{}, plans: newPlanCache(DefaultPlanCacheSize)}
 }
 
 // Register adds (or replaces) a table under its own name. Queries already
@@ -64,13 +67,25 @@ func (c *Catalog) TableNames() []string {
 }
 
 // Query parses and executes a SELECT against the catalog using the
-// vectorized executor.
+// vectorized executor, returning a fully materialized table. Parsing goes
+// through the plan cache, so repeated texts parse once.
 func (c *Catalog) Query(sql string) (*table.Table, error) {
-	stmt, err := Parse(sql)
+	stmt, err := c.plan(sql)
 	if err != nil {
 		return nil, err
 	}
-	return c.Execute(stmt)
+	return c.ExecuteCtx(context.Background(), stmt)
+}
+
+// QueryCtx parses (through the plan cache) and executes a SELECT, honoring
+// ctx cancellation, and returns a typed batch-iterable Result instead of a
+// materialized table — the primary query entry point.
+func (c *Catalog) QueryCtx(ctx context.Context, sql string) (*Result, error) {
+	stmt, err := c.plan(sql)
+	if err != nil {
+		return nil, err
+	}
+	return c.ExecuteResult(ctx, stmt)
 }
 
 // relSchema is the column metadata shared by the vectorized and scalar
@@ -148,9 +163,70 @@ func vrelFrom(t *table.Table, qual string) *vrel {
 // equi-join conditions and hash aggregation, parallelized over row and
 // group partitions through the bounded worker pool.
 func (c *Catalog) Execute(stmt *SelectStmt) (*table.Table, error) {
+	return c.ExecuteCtx(context.Background(), stmt)
+}
+
+// ExecuteCtx is Execute with cancellation: ctx is observed between pipeline
+// stages and between worker-pool chunks, so a cancelled context stops a
+// large scan, sort, or aggregation within one chunk's worth of work and
+// returns ctx.Err().
+func (c *Catalog) ExecuteCtx(ctx context.Context, stmt *SelectStmt) (*table.Table, error) {
+	rel, sel, grouped, err := c.scanFilter(ctx, stmt)
+	if err != nil {
+		return nil, err
+	}
+	return executeMaterialized(ctx, stmt, rel, sel, grouped)
+}
+
+// executeMaterialized is the shared execution tail after scanFilter: the
+// grouped or plain projection, then DISTINCT/OFFSET/LIMIT.
+func executeMaterialized(ctx context.Context, stmt *SelectStmt, rel *vrel, sel *table.Selection, grouped bool) (*table.Table, error) {
+	var out *table.Table
+	var err error
+	if grouped {
+		out, err = executeGroupedVec(ctx, stmt, rel, sel)
+	} else {
+		out, err = executePlainVec(ctx, stmt, rel, sel)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return applyDistinctOffsetLimit(stmt, out), nil
+}
+
+// ExecuteResult executes a parsed statement and returns a typed Result.
+// Plain projections of bare columns (no grouping, ordering, or DISTINCT)
+// stay lazy: the Result holds zero-copy references to the relation's
+// columns plus the WHERE selection, with OFFSET/LIMIT applied as selection
+// arithmetic — no output is materialized at all. Every other shape runs
+// the materializing executor and wraps its output table.
+func (c *Catalog) ExecuteResult(ctx context.Context, stmt *SelectStmt) (*Result, error) {
+	rel, sel, grouped, err := c.scanFilter(ctx, stmt)
+	if err != nil {
+		return nil, err
+	}
+	if !grouped {
+		if res, ok := lazyResult(stmt, rel, sel); ok {
+			return res, nil
+		}
+	}
+	out, err := executeMaterialized(ctx, stmt, rel, sel, grouped)
+	if err != nil {
+		return nil, err
+	}
+	return newTableResult(out), nil
+}
+
+// scanFilter runs the shared pipeline prefix: scan, joins, WHERE filtering,
+// and LIMIT pushdown. It returns the working relation, the selection of
+// surviving rows (nil = all), and whether the query is grouped.
+func (c *Catalog) scanFilter(ctx context.Context, stmt *SelectStmt) (*vrel, *table.Selection, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, false, err
+	}
 	base, ok := c.Table(stmt.From)
 	if !ok {
-		return nil, fmt.Errorf("sql: unknown table %q", stmt.From)
+		return nil, nil, false, fmt.Errorf("sql: unknown table %q", stmt.From)
 	}
 	qual := stmt.From
 	if stmt.FromAs != "" {
@@ -161,25 +237,25 @@ func (c *Catalog) Execute(stmt *SelectStmt) (*table.Table, error) {
 	for _, j := range stmt.Joins {
 		rt, ok := c.Table(j.Table)
 		if !ok {
-			return nil, fmt.Errorf("sql: unknown table %q", j.Table)
+			return nil, nil, false, fmt.Errorf("sql: unknown table %q", j.Table)
 		}
 		jq := j.Table
 		if j.Alias != "" {
 			jq = j.Alias
 		}
 		var err error
-		rel, err = joinVRel(rel, vrelFrom(rt, jq), j)
+		rel, err = joinVRel(ctx, rel, vrelFrom(rt, jq), j)
 		if err != nil {
-			return nil, err
+			return nil, nil, false, err
 		}
 	}
 
 	var sel *table.Selection // nil = all rows
 	if stmt.Where != nil {
 		var err error
-		sel, err = filterWhere(rel, stmt.Where)
+		sel, err = filterWhere(ctx, rel, stmt.Where)
 		if err != nil {
-			return nil, err
+			return nil, nil, false, err
 		}
 	}
 
@@ -202,17 +278,43 @@ func (c *Catalog) Execute(stmt *SelectStmt) (*table.Table, error) {
 			sel = sel.Truncate(keep)
 		}
 	}
-	var out *table.Table
-	var err error
-	if grouped {
-		out, err = executeGroupedVec(stmt, rel, sel)
-	} else {
-		out, err = executePlainVec(stmt, rel, sel)
+	return rel, sel, grouped, ctx.Err()
+}
+
+// lazyResult builds a zero-copy Result for a plain projection of bare
+// columns: no DISTINCT, no ORDER BY, every select item a resolvable column
+// reference of a typed kind. ok=false sends every other shape (including
+// unknown-column errors, for exact error parity) to the materializing path.
+func lazyResult(stmt *SelectStmt, rel *vrel, sel *table.Selection) (*Result, bool) {
+	if stmt.Distinct || len(stmt.OrderBy) > 0 {
+		return nil, false
 	}
-	if err != nil {
-		return nil, err
+	items := expandItems(stmt, &rel.relSchema)
+	names := outputNames(items)
+	cols := make([]table.Column, len(items))
+	for i, it := range items {
+		ref, ok := it.Expr.(*ColumnRef)
+		if !ok {
+			return nil, false
+		}
+		ci := rel.findColumn(ref)
+		if ci < 0 || rel.cols[ci].Kind == table.KindNull {
+			// Unknown columns error on the materializing path; KindNull
+			// columns are rebuilt as TEXT there (buildOutputCols).
+			return nil, false
+		}
+		cols[i] = rel.cols[ci]
+		cols[i].Name = names[i]
 	}
-	return applyDistinctOffsetLimit(stmt, out), nil
+	// OFFSET drops leading selected rows; LIMIT was already pushed down
+	// into the selection by scanFilter when set (keeping OFFSET+LIMIT rows).
+	if stmt.Offset > 0 {
+		if sel == nil {
+			sel = table.NewSpanSelection(table.Span{Lo: 0, Hi: rel.nrows})
+		}
+		sel = sel.Drop(stmt.Offset)
+	}
+	return newLazyResult(names, cols, sel), true
 }
 
 func applyDistinctOffsetLimit(stmt *SelectStmt, out *table.Table) *table.Table {
@@ -241,12 +343,12 @@ var forceDenseSelection atomic.Bool
 // or dense indices when they are scattered. Adjacent spans are merged
 // across chunk boundaries, so a predicate that passes everywhere yields a
 // single [0,n) span and the scan stays as zero-copy as the serial path.
-func filterWhere(rel *vrel, where Expr) (*table.Selection, error) {
+func filterWhere(ctx context.Context, rel *vrel, where Expr) (*table.Selection, error) {
 	n := rel.nrows
 	if n >= 2*parallelMinRows {
 		_, nchunks := chunkLayout(n, parallelMinRows)
 		parts := make([]*table.Selection, nchunks)
-		err := parallelChunksIndexed(n, parallelMinRows, func(ci, lo, hi int) error {
+		err := parallelChunksIndexed(ctx, n, parallelMinRows, func(ci, lo, hi int) error {
 			col, err := evalVec(where, rel, table.NewSpanSelection(table.Span{Lo: lo, Hi: hi}))
 			if err != nil {
 				return err
@@ -342,7 +444,9 @@ func splitConjuncts(e Expr) []Expr {
 // right column drive a hash join (build on the right, probe from the left);
 // remaining conjuncts are evaluated as residual predicates per candidate
 // pair. Without any equi conjunct it degrades to a nested-loop join.
-func joinVRel(left, right *vrel, j JoinClause) (*vrel, error) {
+// Cancellation is checked every 4096 probe rows, so a runaway nested loop
+// stops promptly.
+func joinVRel(ctx context.Context, left, right *vrel, j JoinClause) (*vrel, error) {
 	out := &vrel{relSchema: concatSchemas(&left.relSchema, &right.relSchema)}
 	nl := len(left.cols)
 
@@ -396,6 +500,11 @@ func joinVRel(left, right *vrel, j JoinClause) (*vrel, error) {
 	if len(equiL) > 0 {
 		probe := buildProbe(left, right, equiL, equiR)
 		for l := 0; l < left.nrows; l++ {
+			if l&4095 == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			matched := false
 			for _, r := range probe(l) {
 				ok, err := residualOK(l, r)
@@ -427,6 +536,11 @@ func joinVRel(left, right *vrel, j JoinClause) (*vrel, error) {
 			return true, nil
 		}
 		for l := 0; l < left.nrows; l++ {
+			if l&4095 == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			matched := false
 			for r := 0; r < right.nrows; r++ {
 				ok, err := fullOK(l, r)
@@ -594,7 +708,7 @@ func exprHasAggregate(e Expr) bool {
 }
 
 // executePlainVec projects the selected rows column-at-a-time.
-func executePlainVec(stmt *SelectStmt, rel *vrel, sel *table.Selection) (*table.Table, error) {
+func executePlainVec(ctx context.Context, stmt *SelectStmt, rel *vrel, sel *table.Selection) (*table.Table, error) {
 	items := expandItems(stmt, &rel.relSchema)
 	order := orderExprs(stmt, items)
 	n := selLen(rel, sel)
@@ -631,9 +745,12 @@ func executePlainVec(stmt *SelectStmt, rel *vrel, sel *table.Selection) (*table.
 		}
 		var perm []int
 		if keep, bounded := topKBound(stmt, n); bounded {
-			perm = topKPerm(keyCols, order, n, keep)
+			perm = topKPerm(ctx, keyCols, order, n, keep)
 		} else {
-			perm = sortPerm(keyCols, order, n)
+			perm = sortPerm(ctx, keyCols, order, n)
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
 		for i := range outCols {
 			outCols[i] = outCols[i].Gather(perm)
@@ -700,7 +817,7 @@ func wrapGroups(order []*grp, rows [][]int) []*grp {
 // keys fall back to canonical key strings, computed in parallel partitions.
 // With no key columns (global aggregates) the selection itself is the one
 // group and nothing is materialized.
-func hashGroups(keyCols []*table.Column, rel *vrel, sel *table.Selection) []*grp {
+func hashGroups(ctx context.Context, keyCols []*table.Column, rel *vrel, sel *table.Selection) []*grp {
 	n := selLen(rel, sel)
 	var order []*grp
 	var rows [][]int
@@ -784,7 +901,7 @@ func hashGroups(keyCols []*table.Column, rel *vrel, sel *table.Selection) []*grp
 		return nil
 	}
 	if n >= 2*parallelMinRows {
-		parallelChunks(n, parallelMinRows, computeKeys) //nolint:errcheck // computeKeys cannot fail
+		parallelChunks(ctx, n, parallelMinRows, computeKeys) //nolint:errcheck // computeKeys cannot fail; a cancelled chunk leaves zero keys, and the caller's ctx check surfaces the cancellation
 	} else {
 		computeKeys(0, n) //nolint:errcheck
 	}
@@ -970,7 +1087,7 @@ func minMaxOverColumn(name string, col *table.Column, rows *table.Selection) tab
 // executeGroupedVec groups the selected rows with a hash aggregator and
 // evaluates HAVING and the select list per group, in parallel across group
 // partitions for large inputs.
-func executeGroupedVec(stmt *SelectStmt, rel *vrel, sel *table.Selection) (*table.Table, error) {
+func executeGroupedVec(ctx context.Context, stmt *SelectStmt, rel *vrel, sel *table.Selection) (*table.Table, error) {
 	items := expandItems(stmt, &rel.relSchema)
 	order := orderExprs(stmt, items)
 	n := selLen(rel, sel)
@@ -983,10 +1100,13 @@ func executeGroupedVec(stmt *SelectStmt, rel *vrel, sel *table.Selection) (*tabl
 		}
 		keyCols[i] = &col
 	}
-	groups := hashGroups(keyCols, rel, sel)
+	groups := hashGroups(ctx, keyCols, rel, sel)
 	// Global aggregates over zero rows still produce one group.
 	if len(stmt.GroupBy) == 0 && len(groups) == 0 {
 		groups = append(groups, &grp{})
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	type groupOut struct {
@@ -1026,7 +1146,7 @@ func executeGroupedVec(stmt *SelectStmt, rel *vrel, sel *table.Selection) (*tabl
 
 	var err error
 	if n >= parallelMinRows && len(groups) > 1 {
-		err = parallelChunks(len(groups), 1, func(lo, hi int) error {
+		err = parallelChunks(ctx, len(groups), 1, func(lo, hi int) error {
 			for gi := lo; gi < hi; gi++ {
 				if err := evalGroup(gi); err != nil {
 					return err

@@ -1,6 +1,7 @@
 package sqlengine
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 )
@@ -14,11 +15,14 @@ import (
 //     adaptively (the production path),
 //  2. the vectorized executor with forceDenseSelection set, so every
 //     filter runs through classic dense index vectors,
-//  3. the scalar row-at-a-time reference (Catalog.QueryScalar).
+//  3. the scalar row-at-a-time reference (Catalog.QueryScalar),
+//  4. the typed Result API (Catalog.QueryCtx), consumed batch by batch —
+//     covering the lazy zero-copy projection path and the batch cursor.
 //
 // (1) vs (2) isolates the Selection representation: any divergence is a
 // bug in span construction, merging, or span-aware gathering. (1) vs (3)
-// is the end-to-end engine check. The seed corpus below runs as ordinary
+// is the end-to-end engine check; (1) vs (4) pins the Result redesign to
+// the materialized reference. The seed corpus below runs as ordinary
 // unit tests under plain `go test`; `go test -fuzz=FuzzDifferentialSQL`
 // explores further.
 
@@ -40,9 +44,11 @@ func diffOneSeed(t *testing.T, seed int64, rows uint16, nqueries uint8) {
 
 		sca, scaErr := c.QueryScalar(q)
 
-		if (vecErr == nil) != (denseErr == nil) || (vecErr == nil) != (scaErr == nil) {
-			t.Fatalf("query %q: error mismatch\n  range: %v\n  dense: %v\n  scalar: %v",
-				q, vecErr, denseErr, scaErr)
+		res, resErr := c.QueryCtx(context.Background(), q)
+
+		if (vecErr == nil) != (denseErr == nil) || (vecErr == nil) != (scaErr == nil) || (vecErr == nil) != (resErr == nil) {
+			t.Fatalf("query %q: error mismatch\n  range: %v\n  dense: %v\n  scalar: %v\n  result: %v",
+				q, vecErr, denseErr, scaErr, resErr)
 		}
 		if vecErr != nil {
 			continue
@@ -53,6 +59,9 @@ func diffOneSeed(t *testing.T, seed int64, rows uint16, nqueries uint8) {
 		}
 		if dv != ds {
 			t.Fatalf("query %q: vectorized vs scalar mismatch\n-- vectorized --\n%s\n-- scalar --\n%s", q, dv, ds)
+		}
+		if dr := dumpResult(res); dv != dr {
+			t.Fatalf("query %q: vectorized vs Result batches mismatch\n-- vectorized --\n%s\n-- result --\n%s", q, dv, dr)
 		}
 	}
 }

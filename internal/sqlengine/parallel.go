@@ -1,6 +1,7 @@
 package sqlengine
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -42,19 +43,28 @@ func chunkLayout(n, minChunk int) (size, count int) {
 // fn must only write to per-chunk (disjoint) state. Chunks run on pool
 // workers when slots are free and inline otherwise; with one chunk the call
 // is plain function invocation.
-func parallelChunks(n, minChunk int, fn func(lo, hi int) error) error {
-	return parallelChunksIndexed(n, minChunk, func(_, lo, hi int) error { return fn(lo, hi) })
+//
+// Cancellation is observed at chunk granularity: a chunk that has not
+// started when ctx is done is skipped (its error becomes ctx.Err()), while
+// chunks already running finish their slice. Callers therefore return
+// promptly — within one chunk's worth of work — after cancellation, and no
+// worker goroutine outlives the call (the WaitGroup is always drained).
+func parallelChunks(ctx context.Context, n, minChunk int, fn func(lo, hi int) error) error {
+	return parallelChunksIndexed(ctx, n, minChunk, func(_, lo, hi int) error { return fn(lo, hi) })
 }
 
 // parallelChunksIndexed is parallelChunks with the chunk's ordinal (dense,
 // 0-based, matching the count from chunkLayout) passed to fn, so chunks can
 // deposit results into a preallocated slice without synchronization.
-func parallelChunksIndexed(n, minChunk int, fn func(ci, lo, hi int) error) error {
+func parallelChunksIndexed(ctx context.Context, n, minChunk int, fn func(ci, lo, hi int) error) error {
 	size, count := chunkLayout(n, minChunk)
 	if count == 0 {
-		return nil
+		return ctx.Err()
 	}
 	if count == 1 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		return fn(0, 0, n)
 	}
 	var (
@@ -77,12 +87,20 @@ func parallelChunksIndexed(n, minChunk int, fn func(ci, lo, hi int) error) error
 		if hi > n {
 			hi = n
 		}
+		if err := ctx.Err(); err != nil {
+			record(err)
+			break
+		}
 		select {
 		case workerSem <- struct{}{}:
 			wg.Add(1)
 			go func(ci, lo, hi int) {
 				defer wg.Done()
 				defer func() { <-workerSem }()
+				if err := ctx.Err(); err != nil {
+					record(err)
+					return
+				}
 				record(fn(ci, lo, hi))
 			}(ci, lo, hi)
 		default:

@@ -1,0 +1,116 @@
+package sqlengine
+
+import (
+	"container/list"
+	"context"
+	"sync"
+)
+
+// DefaultPlanCacheSize is the number of distinct SQL texts a catalog's LRU
+// plan cache retains. Parsed statements are immutable during execution, so
+// one cached *SelectStmt is shared by every concurrent executor of the
+// same SQL.
+const DefaultPlanCacheSize = 256
+
+// planCache is a mutex-guarded LRU from SQL text to parsed statement.
+// Parse errors are not cached: failing texts are rare, unbounded in
+// variety, and re-parsing them keeps error messages exact.
+type planCache struct {
+	mu           sync.Mutex
+	cap          int
+	ll           *list.List // front = most recently used
+	bySQL        map[string]*list.Element
+	hits, misses int64
+}
+
+type planEntry struct {
+	sql  string
+	stmt *SelectStmt
+}
+
+func newPlanCache(capacity int) *planCache {
+	return &planCache{cap: capacity, ll: list.New(), bySQL: make(map[string]*list.Element, capacity)}
+}
+
+func (pc *planCache) get(sql string) (*SelectStmt, bool) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if el, ok := pc.bySQL[sql]; ok {
+		pc.ll.MoveToFront(el)
+		pc.hits++
+		return el.Value.(*planEntry).stmt, true
+	}
+	pc.misses++
+	return nil, false
+}
+
+func (pc *planCache) put(sql string, stmt *SelectStmt) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if el, ok := pc.bySQL[sql]; ok { // raced with another parser of the same text
+		pc.ll.MoveToFront(el)
+		return
+	}
+	pc.bySQL[sql] = pc.ll.PushFront(&planEntry{sql: sql, stmt: stmt})
+	for pc.ll.Len() > pc.cap {
+		oldest := pc.ll.Back()
+		pc.ll.Remove(oldest)
+		delete(pc.bySQL, oldest.Value.(*planEntry).sql)
+	}
+}
+
+func (pc *planCache) stats() (hits, misses int64, size int) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.hits, pc.misses, pc.ll.Len()
+}
+
+// plan returns the parsed statement for sql, consulting the LRU plan cache
+// so repeated texts parse once. The returned statement is shared and must
+// be treated as read-only (the executors never mutate the AST).
+func (c *Catalog) plan(sql string) (*SelectStmt, error) {
+	if stmt, ok := c.plans.get(sql); ok {
+		return stmt, nil
+	}
+	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	c.plans.put(sql, stmt)
+	return stmt, nil
+}
+
+// PlanCacheStats reports the catalog's plan-cache hit/miss counters and
+// current entry count, for metrics and tests.
+func (c *Catalog) PlanCacheStats() (hits, misses int64, size int) {
+	return c.plans.stats()
+}
+
+// Prepared is a statement parsed (and plan-cached) once and executable many
+// times: the prepared-statement handle behind Platform.Prepare. It is
+// immutable and safe for concurrent Exec from many goroutines.
+type Prepared struct {
+	cat  *Catalog
+	sql  string
+	stmt *SelectStmt
+}
+
+// Prepare parses sql once and returns a reusable handle bound to the
+// catalog. Re-executing the handle never touches the parser again.
+func (c *Catalog) Prepare(sql string) (*Prepared, error) {
+	stmt, err := c.plan(sql)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{cat: c, sql: sql, stmt: stmt}, nil
+}
+
+// SQL returns the statement text the handle was prepared from.
+func (p *Prepared) SQL() string { return p.sql }
+
+// Exec executes the prepared statement, honoring ctx cancellation, and
+// returns a typed Result. Each call re-executes against the catalog's
+// current table registrations (names bind at execute, not at prepare).
+func (p *Prepared) Exec(ctx context.Context) (*Result, error) {
+	return p.cat.ExecuteResult(ctx, p.stmt)
+}

@@ -1,0 +1,229 @@
+package sqlengine
+
+import (
+	"datalab/internal/table"
+)
+
+// defaultBatchRows is the batch granularity for Result iteration: large
+// enough that per-batch overhead vanishes against cell access, small enough
+// that a batch's working set stays cache-resident.
+const defaultBatchRows = 1024
+
+// Result is the typed, batch-iterable handle over a query's columnar
+// result set — the replacement for materializing [][]string. A Result is
+// produced in one of two modes, invisible to the caller:
+//
+//   - lazy view mode (plain SELECT of bare columns, no ORDER BY/DISTINCT):
+//     the Result holds zero-copy references to the catalog table's columns
+//     plus the WHERE selection, and batches are zero-copy views over
+//     contiguous selection spans. Nothing row-sized is ever allocated.
+//   - materialized mode (grouping, ordering, computed expressions,
+//     DISTINCT): the Result owns freshly built output columns and batches
+//     are zero-copy views over those.
+//
+// Iterate with Next until it returns nil:
+//
+//	res, _ := cat.QueryCtx(ctx, sql)
+//	for b := res.Next(); b != nil; b = res.Next() {
+//		for i := 0; i < b.NumRows(); i++ { ... b.Float64(1, i) ... }
+//	}
+//
+// A Result is a single-consumer cursor: Next is not safe for concurrent
+// use (execute the query once per consumer instead). The accessor methods
+// (Columns, NumRows, Strings) are read-only and do not move the cursor.
+// All columns reachable through a Result are strictly read-only — lazy
+// results share storage with the catalog.
+type Result struct {
+	names []string
+	cols  []table.Column   // one per output column; lazy mode shares base storage
+	sel   *table.Selection // lazy row selection; nil = all rows [0, total)
+	total int              // result row count
+
+	cur     Batch
+	emitted int
+	spanIdx int // cursor within span-form selections
+	spanOff int
+}
+
+// newTableResult wraps a fully materialized output table.
+func newTableResult(t *table.Table) *Result {
+	return &Result{
+		names: t.ColumnNames(),
+		cols:  t.Columns,
+		total: t.NumRows(),
+	}
+}
+
+// newLazyResult wraps base-table columns plus a selection, without
+// materializing anything. cols must already carry their output names;
+// sel == nil selects all rows of the base columns.
+func newLazyResult(names []string, cols []table.Column, sel *table.Selection) *Result {
+	total := 0
+	if sel != nil {
+		total = sel.Len()
+	} else if len(cols) > 0 {
+		total = cols[0].Len()
+	}
+	return &Result{names: names, cols: cols, sel: sel, total: total}
+}
+
+// Columns returns the output column names in order.
+func (r *Result) Columns() []string { return r.names }
+
+// NumCols returns the number of output columns.
+func (r *Result) NumCols() int { return len(r.cols) }
+
+// NumRows returns the total number of result rows, independent of how far
+// iteration has advanced.
+func (r *Result) NumRows() int { return r.total }
+
+// Next returns the next batch of up to 1024 rows, or nil when the result
+// is exhausted. The returned batch (and the storage behind its typed
+// accessors) is only valid until the following Next call.
+func (r *Result) Next() *Batch {
+	if r.emitted >= r.total {
+		return nil
+	}
+	n := defaultBatchRows
+	if rem := r.total - r.emitted; n > rem {
+		n = rem
+	}
+	if r.sel == nil {
+		lo := r.emitted
+		r.fillView(lo, lo+n)
+	} else if spans, ok := r.sel.Spans(); ok {
+		sp := spans[r.spanIdx]
+		lo := sp.Lo + r.spanOff
+		if m := sp.Hi - lo; n > m {
+			n = m
+		}
+		r.fillView(lo, lo+n)
+		r.spanOff += n
+		if lo+n == sp.Hi {
+			r.spanIdx++
+			r.spanOff = 0
+		}
+	} else {
+		idx := r.sel.Indices() // dense form: the internal ascending slice
+		r.fillGather(idx[r.emitted : r.emitted+n])
+	}
+	r.emitted += n
+	return &r.cur
+}
+
+// Reset rewinds the cursor so the result can be iterated again.
+func (r *Result) Reset() {
+	r.emitted, r.spanIdx, r.spanOff = 0, 0, 0
+}
+
+// fillView points the cursor batch at zero-copy views of rows [lo, hi).
+func (r *Result) fillView(lo, hi int) {
+	if r.cur.cols == nil {
+		r.cur.cols = make([]table.Column, len(r.cols))
+	}
+	for i := range r.cols {
+		r.cur.cols[i] = r.cols[i].View(lo, hi)
+	}
+	r.cur.n = hi - lo
+}
+
+// fillGather materializes the cursor batch for scattered rows (dense-form
+// selections): one bounded gather per column per batch.
+func (r *Result) fillGather(idx []int) {
+	if r.cur.cols == nil {
+		r.cur.cols = make([]table.Column, len(r.cols))
+	}
+	for i := range r.cols {
+		r.cur.cols[i] = r.cols[i].Gather(idx)
+	}
+	r.cur.n = len(idx)
+}
+
+// Strings materializes the entire result as display strings — the
+// compatibility path behind the deprecated stringly APIs. NULL cells
+// render as "". It does not move the batch cursor.
+func (r *Result) Strings() [][]string {
+	rows := make([][]string, 0, r.total)
+	it := table.IterSelection(r.sel, r.total)
+	for {
+		ri, ok := it.Next()
+		if !ok {
+			break
+		}
+		row := make([]string, len(r.cols))
+		for j := range r.cols {
+			row[j] = r.cols[j].Value(ri).AsString()
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Table materializes the result as a table that owns its storage.
+func (r *Result) Table(name string) *table.Table {
+	out := &table.Table{Name: name, Columns: make([]table.Column, len(r.cols))}
+	for i := range r.cols {
+		if r.sel == nil {
+			out.Columns[i] = r.cols[i].CloneData()
+		} else {
+			out.Columns[i] = r.cols[i].GatherSel(r.sel)
+		}
+		out.Columns[i].Name = r.names[i]
+	}
+	return out
+}
+
+// Batch is one window of result rows: zero-copy column views with typed,
+// null-aware accessors. Row indices are batch-local (0 <= row < NumRows).
+type Batch struct {
+	cols []table.Column
+	n    int
+}
+
+// NumRows returns the number of rows in the batch.
+func (b *Batch) NumRows() int { return b.n }
+
+// NumCols returns the number of columns.
+func (b *Batch) NumCols() int { return len(b.cols) }
+
+// IsNull reports whether the cell at (col, row) is NULL.
+func (b *Batch) IsNull(col, row int) bool { return b.cols[col].IsNullAt(row) }
+
+// Int64 returns the cell as an int64 straight from typed storage.
+// ok is false for NULLs and non-integer cells.
+func (b *Batch) Int64(col, row int) (int64, bool) {
+	c := &b.cols[col]
+	if is, nulls, typed := c.Ints(); typed {
+		if nulls[row] {
+			return 0, false
+		}
+		return is[row], true
+	}
+	v := c.Value(row)
+	if v.IsNull() || v.Kind != table.KindInt {
+		return 0, false
+	}
+	return v.AsInt()
+}
+
+// Float64 returns the cell as a float64 (int cells promote). ok is false
+// for NULLs and non-numeric cells.
+func (b *Batch) Float64(col, row int) (float64, bool) {
+	return b.cols[col].FloatAt(row)
+}
+
+// String returns the cell rendered as a string; NULL renders as "".
+func (b *Batch) String(col, row int) string {
+	return b.cols[col].Value(row).AsString()
+}
+
+// Int64s returns the batch's int64 slab for one column: values, null
+// bitmap, ok. ok is false when the column is not typed int64 storage.
+// The slices are zero-copy views and must not be mutated.
+func (b *Batch) Int64s(col int) ([]int64, []bool, bool) { return b.cols[col].Ints() }
+
+// Float64s returns the batch's float64 slab for one column (see Int64s).
+func (b *Batch) Float64s(col int) ([]float64, []bool, bool) { return b.cols[col].Floats() }
+
+// StringsCol returns the batch's string slab for one column (see Int64s).
+func (b *Batch) StringsCol(col int) ([]string, []bool, bool) { return b.cols[col].Strings() }

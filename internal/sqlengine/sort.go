@@ -2,6 +2,7 @@ package sqlengine
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"sort"
 
@@ -97,13 +98,15 @@ func (ks *keyset) sortSegment(seg []int) {
 }
 
 // sortPerm returns the stable row permutation ordering the key columns.
-func sortPerm(keyCols []table.Column, order []OrderItem, n int) []int {
+// ctx is observed by the parallel chunk sort; serial sorts below the
+// parallel threshold run to completion (they are sub-millisecond).
+func sortPerm(ctx context.Context, keyCols []table.Column, order []OrderItem, n int) []int {
 	specs, ok := sortKeySpecs(keyCols, order)
 	if !ok {
 		return boxedSortPerm(keyCols, order, n)
 	}
 	if n >= 2*parallelMinRows {
-		return parallelSortPerm(specs, n)
+		return parallelSortPerm(ctx, specs, n)
 	}
 	ks := buildKeyset(specs, 0, n)
 	perm := iotaInts(n)
@@ -112,19 +115,24 @@ func sortPerm(keyCols []table.Column, order []OrderItem, n int) []int {
 }
 
 // parallelSortPerm sorts large permutations chunk-at-a-time on the worker
-// pool and k-way merges the sorted chunks.
-func parallelSortPerm(specs []table.SortKeySpec, n int) []int {
+// pool and k-way merges the sorted chunks. On cancellation the returned
+// permutation is meaningless; callers must check ctx.Err() and discard it
+// (executePlainVec does, right after the sort).
+func parallelSortPerm(ctx context.Context, specs []table.SortKeySpec, n int) []int {
 	_, count := chunkLayout(n, parallelMinRows)
 	perm := iotaInts(n)
 	keysets := make([]keyset, count)
 	bounds := make([][2]int, count)
-	//nolint:errcheck // the chunk body cannot fail
-	parallelChunksIndexed(n, parallelMinRows, func(ci, lo, hi int) error {
+	//nolint:errcheck // the chunk body cannot fail; a cancelled chunk leaves its bounds zero and is excluded below
+	parallelChunksIndexed(ctx, n, parallelMinRows, func(ci, lo, hi int) error {
 		keysets[ci] = buildKeyset(specs, lo, hi)
 		bounds[ci] = [2]int{lo, hi}
 		keysets[ci].sortSegment(perm[lo:hi])
 		return nil
 	})
+	if ctx.Err() != nil {
+		return perm
+	}
 
 	// Merge cursors, one per sorted chunk, ordered by (key, position).
 	cursors := make([]mergeCursor, 0, count)
@@ -215,12 +223,12 @@ func (h mergeHeap) siftDown(i int) {
 // bounded max-heap (worst retained row at the root) scans the n rows once;
 // each row's key is encoded into a reused scratch buffer and copied only
 // when it displaces the root.
-func topKPerm(keyCols []table.Column, order []OrderItem, n, k int) []int {
+func topKPerm(ctx context.Context, keyCols []table.Column, order []OrderItem, n, k int) []int {
 	if k <= 0 {
 		return []int{}
 	}
 	if k >= n {
-		return sortPerm(keyCols, order, n)
+		return sortPerm(ctx, keyCols, order, n)
 	}
 	specs, ok := sortKeySpecs(keyCols, order)
 	if !ok {

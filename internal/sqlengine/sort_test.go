@@ -1,6 +1,7 @@
 package sqlengine
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -72,7 +73,7 @@ func TestSortPermMatchesBoxedReference(t *testing.T) {
 		n := rng.Intn(200)
 		mixed := trial%5 == 4
 		cols, order := randKeyColumns(rng, n, mixed)
-		perm := sortPerm(cols, order, n)
+		perm := sortPerm(context.Background(), cols, order, n)
 		if len(perm) != n {
 			t.Fatalf("perm length %d, want %d", len(perm), n)
 		}
@@ -81,7 +82,7 @@ func TestSortPermMatchesBoxedReference(t *testing.T) {
 			if k < 0 {
 				continue
 			}
-			got := topKPerm(cols, order, n, k)
+			got := topKPerm(context.Background(), cols, order, n, k)
 			want := perm
 			if k < n {
 				want = perm[:k]
@@ -114,7 +115,7 @@ func TestParallelSortPermStable(t *testing.T) {
 	if !ok {
 		t.Fatal("expected encodable key columns")
 	}
-	got := parallelSortPerm(specs, n)
+	got := parallelSortPerm(context.Background(), specs, n)
 	if len(got) != n {
 		t.Fatalf("perm length %d, want %d", len(got), n)
 	}
@@ -127,7 +128,7 @@ func TestParallelSortPermStable(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			perm := parallelSortPerm(specs, n)
+			perm := parallelSortPerm(context.Background(), specs, n)
 			if len(perm) != n {
 				t.Errorf("concurrent perm length %d, want %d", len(perm), n)
 			}

@@ -435,6 +435,34 @@ func (s *Selection) Truncate(k int) *Selection {
 	return &Selection{spans: spans, count: k}
 }
 
+// Drop returns a selection of all but the first k selected rows — the
+// complement of Truncate, used for OFFSET pushdown. The result shares
+// storage with s where possible; k <= 0 returns s itself, k >= Len the
+// empty selection.
+func (s *Selection) Drop(k int) *Selection {
+	if k <= 0 || s == nil {
+		return s
+	}
+	if k >= s.count {
+		return &Selection{}
+	}
+	if s.idx != nil {
+		return &Selection{idx: s.idx[k:], count: s.count - k}
+	}
+	spans := make([]Span, 0, len(s.spans))
+	skip := k
+	for _, sp := range s.spans {
+		n := sp.Hi - sp.Lo
+		if skip >= n {
+			skip -= n
+			continue
+		}
+		spans = append(spans, Span{sp.Lo + skip, sp.Hi})
+		skip = 0
+	}
+	return &Selection{spans: spans, count: s.count - k}
+}
+
 // SelectionIter iterates the rows of a selection without per-row closure
 // calls, with the engine's "nil selects all of [0,n)" convention built in.
 type SelectionIter struct {

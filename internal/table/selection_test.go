@@ -405,6 +405,43 @@ func TestSelectionTruncate(t *testing.T) {
 	}
 }
 
+func TestSelectionDrop(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		var s *Selection
+		if trial%2 == 0 {
+			s = SelectionFromMask(clusteredMask(rng, rng.Intn(150)), 0)
+		} else {
+			s = SelectionFromMask(randMask(rng, rng.Intn(150), 0.5), 0)
+		}
+		k := rng.Intn(s.Len() + 10)
+		dr := s.Drop(k)
+		checkInvariants(t, dr)
+		want := s.Indices()
+		if k < len(want) {
+			want = want[k:]
+		} else {
+			want = nil
+		}
+		if !eqInts(dr.Indices(), want) {
+			t.Fatalf("trial %d: Drop(%d) = %v, want %v", trial, k, dr.Indices(), want)
+		}
+		// Drop then Truncate realizes an OFFSET/LIMIT window.
+		if s.Len() > 2 {
+			win := s.Drop(1).Truncate(s.Len() - 2)
+			if win.Len() != s.Len()-2 || !eqInts(win.Indices(), s.Indices()[1:s.Len()-1]) {
+				t.Fatalf("trial %d: window mismatch", trial)
+			}
+		}
+	}
+	if got := (*Selection)(nil).Drop(3); got != nil {
+		t.Fatalf("nil Drop = %v", got)
+	}
+	if s := NewSpanSelection(Span{0, 5}); s.Drop(0) != s {
+		t.Fatal("Drop(0) should return the receiver")
+	}
+}
+
 // TestGatherSelEquivalence checks Column.GatherSel against the naive
 // Gather over expanded indices, for every storage kind plus boxed columns
 // and NULLs, in both selection forms.

@@ -1,6 +1,7 @@
 package datalab
 
 import (
+	"context"
 	"fmt"
 
 	"datalab/internal/comm"
@@ -27,18 +28,33 @@ func (p *Platform) NewNotebook(name string) *NotebookSession {
 }
 
 // AddSQL appends a SQL cell whose result binds to outputVar. The query is
-// executed against the platform catalog immediately.
+// executed against the platform catalog immediately; re-running the same
+// cell later (RunSQL) hits the plan cache and skips parsing.
 func (s *NotebookSession) AddSQL(source, outputVar string) (cellID string, err error) {
 	id, err := s.nb.AddSQLCell(source, outputVar)
 	if err != nil {
 		return "", err
 	}
-	if _, err := s.platform.catalog.Query(source); err != nil {
+	if _, err := s.platform.catalog.QueryCtx(context.Background(), source); err != nil {
 		// The cell stays (users keep broken drafts around); the error is
 		// surfaced so the caller can show it.
 		return id, fmt.Errorf("datalab: cell %s added but execution failed: %w", id, err)
 	}
 	return id, nil
+}
+
+// RunSQL re-executes a SQL cell and returns its typed Result. The cell's
+// source was plan-cached when the cell was added, so re-runs skip the
+// parser entirely.
+func (s *NotebookSession) RunSQL(ctx context.Context, cellID string) (*Result, error) {
+	c, ok := s.nb.Cell(cellID)
+	if !ok {
+		return nil, fmt.Errorf("datalab: unknown cell %q", cellID)
+	}
+	if c.Type != notebook.CellSQL {
+		return nil, fmt.Errorf("datalab: cell %s is %s, not sql", cellID, c.Type)
+	}
+	return s.platform.catalog.QueryCtx(ctx, c.Source)
 }
 
 // AddPython appends a Python cell (static analysis only: the DAG tracks

@@ -1,0 +1,42 @@
+package datalab
+
+import "datalab/internal/sqlengine"
+
+// The typed result API. A query executed through Platform.QueryCtx (or a
+// prepared Stmt) hands back a *Result: a cursor over the columnar result
+// set that iterates zero-copy batches instead of materializing rows.
+//
+//	res, err := p.QueryCtx(ctx, "SELECT region, amount FROM sales WHERE amount > 100")
+//	if err != nil { ... }
+//	total := 0.0
+//	for b := res.Next(); b != nil; b = res.Next() {
+//		for i := 0; i < b.NumRows(); i++ {
+//			if v, ok := b.Float64(1, i); ok {
+//				total += v
+//			}
+//		}
+//	}
+//
+// Plain projections (no grouping, ordering, or DISTINCT) never materialize
+// anything: the Result's batches are read-only views straight over the
+// catalog's column storage, restricted by the WHERE selection. Aggregated,
+// ordered, or computed results are built once and then viewed batch by
+// batch. Result.Strings() materializes the old [][]string shape for
+// callers migrating incrementally.
+//
+// The types are defined in internal/sqlengine (the executor produces them
+// directly); the aliases below are the public names.
+
+// Result is a typed, batch-iterable handle over a query's columnar result
+// set. See the package documentation above for the iteration pattern.
+type Result = sqlengine.Result
+
+// Batch is one window (up to 1024 rows) of a Result: zero-copy column
+// views with typed, null-aware accessors (Int64, Float64, String, IsNull)
+// and whole-column slab accessors (Int64s, Float64s, StringsCol).
+type Batch = sqlengine.Batch
+
+// Stmt is a prepared statement: parsed and planned once by
+// Platform.Prepare, executed many times with Exec. Exec never re-parses,
+// so repeated execution amortizes parse/plan cost to zero.
+type Stmt = sqlengine.Prepared
