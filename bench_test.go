@@ -240,9 +240,33 @@ func benchBigCatalog(rows int) *sqlengine.Catalog {
 	for k := 0; k < 64; k++ {
 		dim.MustAppendRow(table.Int(int64(k)), table.Str(fmt.Sprintf("cat%d", k%5)), table.Float(float64(k)*3.5))
 	}
+	// promo fans out: three rows per product_id, so every big row
+	// multi-matches (100k probe rows -> 300k join output rows).
+	promo := table.MustNew("promo",
+		[]string{"pid", "deal", "discount"},
+		[]table.Kind{table.KindInt, table.KindString, table.KindFloat})
+	for k := 0; k < 64; k++ {
+		for d := 0; d < 3; d++ {
+			promo.MustAppendRow(table.Int(int64(k)), table.Str(fmt.Sprintf("deal%d_%d", k, d)), table.Float(float64((k*3+d)%13)))
+		}
+	}
+	// sparsedim covers only half the product_ids (plus orphans no big row
+	// carries), so outer joins pad half the probe side and FULL OUTER has
+	// build rows to sweep.
+	sparsedim := table.MustNew("sparsedim",
+		[]string{"pid", "label"},
+		[]table.Kind{table.KindInt, table.KindString})
+	for k := 0; k < 32; k++ {
+		sparsedim.MustAppendRow(table.Int(int64(k)), table.Str(fmt.Sprintf("lab%d", k)))
+	}
+	for k := 100; k < 110; k++ {
+		sparsedim.MustAppendRow(table.Int(int64(k)), table.Str(fmt.Sprintf("orphan%d", k)))
+	}
 	cat := sqlengine.NewCatalog()
 	cat.Register(t)
 	cat.Register(dim)
+	cat.Register(promo)
+	cat.Register(sparsedim)
 	return cat
 }
 
@@ -297,6 +321,53 @@ func BenchmarkJoin10kVectorized(b *testing.B) {
 		}
 	}
 }
+
+// --- join pipeline sweep ---
+//
+// One benchmark per join shape over the 100k-row probe table, each paired
+// with a Serial twin that pins the single-goroutine probe baseline via the
+// sqlengine.SerialJoinProbe hook — the delta is the parallel pipeline's
+// win. MultiMatch measures dense-pair fan-out (300k output rows), Residual
+// adds a cross-side ON conjunct (batched candidate-pair evaluation),
+// LeftOuter/FullOuter measure null-mask padding and the unmatched-build
+// sweep, RightOuter the probe-side flip. Run:
+//
+//	go test -run xxx -bench=Join -benchmem
+
+const (
+	benchJoinMultiQuery    = "SELECT big.id, promo.discount FROM big JOIN promo ON big.product_id = promo.pid"
+	benchJoinResidualQuery = "SELECT big.id, promo.deal FROM big JOIN promo ON big.product_id = promo.pid AND promo.discount > big.qty"
+	benchJoinLeftQuery     = "SELECT big.id, sparsedim.label FROM big LEFT JOIN sparsedim ON big.product_id = sparsedim.pid"
+	benchJoinFullQuery     = "SELECT big.id, sparsedim.label FROM big FULL OUTER JOIN sparsedim ON big.product_id = sparsedim.pid"
+	benchJoinRightQuery    = "SELECT big.id, promo.deal FROM promo RIGHT JOIN big ON promo.pid = big.product_id"
+)
+
+func benchJoin(b *testing.B, q string, serial bool) {
+	b.Helper()
+	cat := benchBigCatalog(benchRows)
+	if serial {
+		sqlengine.SerialJoinProbe.Store(true)
+		defer sqlengine.SerialJoinProbe.Store(false)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cat.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkJoinMultiMatch100k(b *testing.B)       { benchJoin(b, benchJoinMultiQuery, false) }
+func BenchmarkJoinMultiMatch100kSerial(b *testing.B) { benchJoin(b, benchJoinMultiQuery, true) }
+func BenchmarkJoinResidual100k(b *testing.B)         { benchJoin(b, benchJoinResidualQuery, false) }
+func BenchmarkJoinResidual100kSerial(b *testing.B)   { benchJoin(b, benchJoinResidualQuery, true) }
+func BenchmarkJoinLeftOuter100k(b *testing.B)        { benchJoin(b, benchJoinLeftQuery, false) }
+func BenchmarkJoinLeftOuter100kSerial(b *testing.B)  { benchJoin(b, benchJoinLeftQuery, true) }
+func BenchmarkJoinFullOuter100k(b *testing.B)        { benchJoin(b, benchJoinFullQuery, false) }
+func BenchmarkJoinFullOuter100kSerial(b *testing.B)  { benchJoin(b, benchJoinFullQuery, true) }
+func BenchmarkJoinRightOuter100k(b *testing.B)       { benchJoin(b, benchJoinRightQuery, false) }
+func BenchmarkJoinRightOuter100kSerial(b *testing.B) { benchJoin(b, benchJoinRightQuery, true) }
 
 // --- selectivity sweep ---
 //

@@ -1,17 +1,3 @@
-// Package datalab is the public facade of the DataLab reproduction: a
-// unified, LLM-powered business-intelligence platform combining a
-// multi-agent framework (SQL, analysis, visualization, insight agents
-// coordinated by a proxy over an FSM plan) with a computational-notebook
-// backend, per "DataLab: A Unified Platform for LLM-Powered Business
-// Intelligence" (ICDE 2025).
-//
-// A Platform owns a warehouse catalog, an optional enterprise knowledge
-// graph, and the simulated LLM client. Typical use:
-//
-//	p := datalab.New(datalab.WithModel("gpt-4"))
-//	p.LoadCSV("sales", file)
-//	ans, err := p.Ask("total revenue by region as a bar chart", "sales")
-//	fmt.Println(ans.SQL, ans.ChartJSON)
 package datalab
 
 import (
@@ -259,9 +245,10 @@ type Answer struct {
 	Columns []string
 	// Rows is the stringly materialization of the result set.
 	//
-	// Deprecated: Rows boxes and stringifies every cell. Iterate
-	// Result.Next batches with the typed accessors instead; Rows remains
-	// populated for compatibility.
+	// Deprecated: Rows boxes and stringifies every cell. Use the typed
+	// surface instead — iterate Answer.Result (or Platform.QueryCtx)
+	// batches with the typed accessors. Rows remains populated for
+	// compatibility.
 	Rows [][]string
 	// ChartJSON is the Vega-Lite-style chart spec, when a chart was asked.
 	ChartJSON string
@@ -331,9 +318,9 @@ func (p *Platform) Prepare(sql string) (*Stmt, error) {
 
 // Query executes raw SQL and materializes the full result as strings.
 //
-// Deprecated: Query stringifies every cell of every row. Use QueryCtx and
-// iterate the Result's batches with the typed accessors; this shim remains
-// for callers that want the old shape.
+// Deprecated: Query stringifies every cell of every row. Use
+// Platform.QueryCtx and iterate the Result's batches with the typed
+// accessors; this shim remains for callers that want the old shape.
 func (p *Platform) Query(sql string) (columns []string, rows [][]string, err error) {
 	res, err := p.catalog.QueryCtx(context.Background(), sql)
 	if err != nil {

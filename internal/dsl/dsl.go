@@ -152,6 +152,7 @@ var sqlReserved = map[string]bool{
 	"having": true, "order": true, "limit": true, "as": true, "and": true,
 	"or": true, "not": true, "in": true, "between": true, "like": true,
 	"is": true, "null": true, "join": true, "inner": true, "left": true,
+	"right": true, "full": true,
 	"outer": true, "on": true, "asc": true, "desc": true, "distinct": true,
 	"true": true, "false": true, "case": true, "when": true, "then": true,
 	"else": true, "end": true, "offset": true,

@@ -155,6 +155,30 @@ func TestToSQLQuotesWeirdIdentifiers(t *testing.T) {
 	}
 }
 
+// TestToSQLQuotesReservedColumns pins sqlReserved against the lexer's
+// keyword set: business columns named after SQL keywords — including
+// RIGHT and FULL, reserved when outer joins were added — must quote and
+// reparse.
+func TestToSQLQuotesReservedColumns(t *testing.T) {
+	for _, col := range []string{"when", "order", "group", "right", "full", "left", "case"} {
+		s := &Spec{
+			Table:         "t",
+			MeasureList:   []Measure{{Column: col, Aggregate: "sum"}},
+			DimensionList: []string{col},
+		}
+		sql, err := s.ToSQL()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(sql, "`"+col+"`") {
+			t.Errorf("reserved column %q not quoted: %s", col, sql)
+		}
+		if _, err := sqlengine.Parse(sql); err != nil {
+			t.Errorf("column %q: quoted SQL does not parse: %v\n%s", col, err, sql)
+		}
+	}
+}
+
 func TestToChartBar(t *testing.T) {
 	spec, err := sampleSpec().ToChart()
 	if err != nil {

@@ -240,8 +240,13 @@ func (s *SelectStmt) SQL() string {
 	}
 	for _, j := range s.Joins {
 		kw := "JOIN"
-		if j.Kind == table.JoinLeft {
+		switch j.Kind {
+		case table.JoinLeft:
 			kw = "LEFT JOIN"
+		case table.JoinRight:
+			kw = "RIGHT JOIN"
+		case table.JoinFull:
+			kw = "FULL OUTER JOIN"
 		}
 		sb.WriteString(" " + kw + " " + j.Table)
 		if j.Alias != "" {

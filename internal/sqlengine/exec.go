@@ -234,6 +234,10 @@ func (c *Catalog) scanFilter(ctx context.Context, stmt *SelectStmt) (*vrel, *tab
 	}
 	rel := vrelFrom(base, qual)
 
+	var keep *joinKeepSet
+	if len(stmt.Joins) > 0 {
+		keep = referencedOutputColumns(stmt)
+	}
 	for _, j := range stmt.Joins {
 		rt, ok := c.Table(j.Table)
 		if !ok {
@@ -244,7 +248,7 @@ func (c *Catalog) scanFilter(ctx context.Context, stmt *SelectStmt) (*vrel, *tab
 			jq = j.Alias
 		}
 		var err error
-		rel, err = joinVRel(ctx, rel, vrelFrom(rt, jq), j)
+		rel, err = joinVRel(ctx, rel, vrelFrom(rt, jq), j, keep)
 		if err != nil {
 			return nil, nil, false, err
 		}
@@ -401,201 +405,6 @@ func iotaInts(n int) []int {
 		idx[i] = i
 	}
 	return idx
-}
-
-// --- joins ---
-
-// pairEnv evaluates the ON predicate for one (left row, right row)
-// candidate without materializing the combined row.
-type pairEnv struct {
-	schema      *relSchema // combined
-	left, right *vrel
-	lrow, rrow  int
-}
-
-func (e *pairEnv) resolveColumn(ref *ColumnRef) (table.Value, error) {
-	i := e.schema.findColumn(ref)
-	if i < 0 {
-		return table.Null(), errUnknownColumn(ref)
-	}
-	if i < len(e.left.cols) {
-		return e.left.cols[i].Value(e.lrow), nil
-	}
-	if e.rrow < 0 {
-		return table.Null(), nil
-	}
-	return e.right.cols[i-len(e.left.cols)].Value(e.rrow), nil
-}
-
-func (e *pairEnv) resolveAggregate(fn *FuncCall) (table.Value, error) {
-	return table.Null(), errAggInRowContext(fn)
-}
-
-// splitConjuncts flattens a tree of ANDs into its conjuncts in evaluation
-// order.
-func splitConjuncts(e Expr) []Expr {
-	if b, ok := e.(*Binary); ok && b.Op == "AND" {
-		return append(splitConjuncts(b.L), splitConjuncts(b.R)...)
-	}
-	return []Expr{e}
-}
-
-// joinVRel joins left and right. Equality conjuncts between a left and a
-// right column drive a hash join (build on the right, probe from the left);
-// remaining conjuncts are evaluated as residual predicates per candidate
-// pair. Without any equi conjunct it degrades to a nested-loop join.
-// Cancellation is checked every 4096 probe rows, so a runaway nested loop
-// stops promptly.
-func joinVRel(ctx context.Context, left, right *vrel, j JoinClause) (*vrel, error) {
-	out := &vrel{relSchema: concatSchemas(&left.relSchema, &right.relSchema)}
-	nl := len(left.cols)
-
-	var equiL, equiR []int
-	var residual []Expr
-	for _, cj := range splitConjuncts(j.On) {
-		if b, ok := cj.(*Binary); ok && b.Op == "=" {
-			lr, lok := b.L.(*ColumnRef)
-			rr, rok := b.R.(*ColumnRef)
-			if lok && rok {
-				ci := out.findColumn(lr)
-				cj2 := out.findColumn(rr)
-				switch {
-				case ci >= 0 && cj2 >= nl:
-					if ci < nl {
-						equiL = append(equiL, ci)
-						equiR = append(equiR, cj2-nl)
-						continue
-					}
-				case cj2 >= 0 && cj2 < nl && ci >= nl:
-					equiL = append(equiL, cj2)
-					equiR = append(equiR, ci-nl)
-					continue
-				}
-			}
-		}
-		residual = append(residual, cj)
-	}
-
-	env := &pairEnv{schema: &out.relSchema, left: left, right: right}
-	residualOK := func(l, r int) (bool, error) {
-		env.lrow, env.rrow = l, r
-		for _, cj := range residual {
-			v, err := evalExpr(cj, env)
-			if err != nil {
-				return false, err
-			}
-			if b, ok := v.AsBool(); !ok || !b {
-				return false, nil
-			}
-		}
-		return true, nil
-	}
-
-	var lidx, ridx []int
-	appendPair := func(l, r int) {
-		lidx = append(lidx, l)
-		ridx = append(ridx, r)
-	}
-
-	if len(equiL) > 0 {
-		probe := buildProbe(left, right, equiL, equiR)
-		for l := 0; l < left.nrows; l++ {
-			if l&4095 == 0 {
-				if err := ctx.Err(); err != nil {
-					return nil, err
-				}
-			}
-			matched := false
-			for _, r := range probe(l) {
-				ok, err := residualOK(l, r)
-				if err != nil {
-					return nil, err
-				}
-				if ok {
-					matched = true
-					appendPair(l, r)
-				}
-			}
-			if !matched && j.Kind == table.JoinLeft {
-				appendPair(l, -1)
-			}
-		}
-	} else {
-		full := splitConjuncts(j.On)
-		fullOK := func(l, r int) (bool, error) {
-			env.lrow, env.rrow = l, r
-			for _, cj := range full {
-				v, err := evalExpr(cj, env)
-				if err != nil {
-					return false, err
-				}
-				if b, ok := v.AsBool(); !ok || !b {
-					return false, nil
-				}
-			}
-			return true, nil
-		}
-		for l := 0; l < left.nrows; l++ {
-			if l&4095 == 0 {
-				if err := ctx.Err(); err != nil {
-					return nil, err
-				}
-			}
-			matched := false
-			for r := 0; r < right.nrows; r++ {
-				ok, err := fullOK(l, r)
-				if err != nil {
-					return nil, err
-				}
-				if ok {
-					matched = true
-					appendPair(l, r)
-				}
-			}
-			if !matched && j.Kind == table.JoinLeft {
-				appendPair(l, -1)
-			}
-		}
-	}
-
-	out.cols = make([]table.Column, 0, nl+len(right.cols))
-	out.cols = appendGathered(out.cols, left.cols, lidx)
-	out.cols = appendGathered(out.cols, right.cols, ridx)
-	out.nrows = len(lidx)
-	return out, nil
-}
-
-// appendGathered gathers each column at the pair indices. When the indices
-// are strictly ascending (the common inner-join shape: each probe row
-// matches at most once, so runs of consecutive rows survive together), the
-// gather goes through a Selection so contiguous runs copy span-at-a-time;
-// otherwise — duplicates from multi-matches, -1 outer-join padding — it
-// falls back to the plain index gather.
-func appendGathered(dst []table.Column, cols []table.Column, idx []int) []table.Column {
-	if sel, ok := table.SelectionFromAscending(idx); ok {
-		for i := range cols {
-			dst = append(dst, cols[i].GatherSel(sel))
-		}
-		return dst
-	}
-	for i := range cols {
-		dst = append(dst, cols[i].Gather(idx))
-	}
-	return dst
-}
-
-// buildProbe hashes the right side's equi-key columns and returns a probe
-// function from a left row to candidate right rows, delegating to the
-// shared table.NewHashProbe (typed int/string maps for single keys,
-// canonical value keys otherwise).
-func buildProbe(left, right *vrel, equiL, equiR []int) func(l int) []int {
-	lcols := make([]*table.Column, len(equiL))
-	rcols := make([]*table.Column, len(equiR))
-	for i := range equiL {
-		lcols[i] = &left.cols[equiL[i]]
-		rcols[i] = &right.cols[equiR[i]]
-	}
-	return table.NewHashProbe(lcols, rcols)
 }
 
 // --- projection ---

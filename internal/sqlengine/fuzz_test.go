@@ -87,6 +87,17 @@ func FuzzDifferentialSQL(f *testing.F) {
 	f.Add(int64(9), uint16(650), uint8(45))
 	f.Add(int64(10), uint16(88), uint8(45))
 	f.Add(int64(11), uint16(2), uint8(40))
+	// Seeds added with the parallel selection-aware join pipeline: the
+	// query generator now emits LEFT/RIGHT/FULL OUTER and multi-match
+	// equi-joins against the duplicate-keyed `multi` table (missing and
+	// NULL keys included), with residual ON conjuncts — cross-side ones
+	// drive the batched candidate-pair evaluation — so these inputs cover
+	// span vs dense pair gathering, null-mask padding, and the
+	// unmatched-build-row sweep through the four-way differential check.
+	f.Add(int64(12), uint16(500), uint8(45))
+	f.Add(int64(13), uint16(120), uint8(45))
+	f.Add(int64(14), uint16(3), uint8(40))
+	f.Add(int64(15), uint16(680), uint8(45))
 	f.Fuzz(diffOneSeed)
 }
 

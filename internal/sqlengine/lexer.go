@@ -1,9 +1,3 @@
-// Package sqlengine implements the in-memory SQL engine DataLab executes
-// SQL cells and generated queries against. It supports the dialect the
-// paper's workloads need: single/multi-table SELECT with JOIN ... ON,
-// WHERE, GROUP BY, HAVING, ORDER BY, LIMIT, DISTINCT, scalar expressions,
-// and the standard aggregate functions. Execution Accuracy (EX) compares
-// result multisets produced by this engine.
 package sqlengine
 
 import (
@@ -35,6 +29,7 @@ var keywords = map[string]bool{
 	"HAVING": true, "ORDER": true, "LIMIT": true, "AS": true, "AND": true,
 	"OR": true, "NOT": true, "IN": true, "BETWEEN": true, "LIKE": true,
 	"IS": true, "NULL": true, "JOIN": true, "INNER": true, "LEFT": true,
+	"RIGHT": true, "FULL": true,
 	"OUTER": true, "ON": true, "ASC": true, "DESC": true, "DISTINCT": true,
 	"TRUE": true, "FALSE": true, "CASE": true, "WHEN": true, "THEN": true,
 	"ELSE": true, "END": true, "OFFSET": true,

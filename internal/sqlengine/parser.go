@@ -127,6 +127,18 @@ func (p *parser) parseSelect() (*SelectStmt, error) {
 				return nil, err
 			}
 			kind = table.JoinLeft
+		case p.acceptKeyword("RIGHT"):
+			p.acceptKeyword("OUTER")
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			kind = table.JoinRight
+		case p.acceptKeyword("FULL"):
+			p.acceptKeyword("OUTER")
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			kind = table.JoinFull
 		default:
 			goto afterJoins
 		}

@@ -238,25 +238,71 @@ func (c *Catalog) ExecuteScalar(stmt *SelectStmt) (*table.Table, error) {
 }
 
 // joinRelationsScalar nested-loop joins left and right with the ON
-// predicate, evaluated for every row pair.
+// predicate, evaluated for every row pair. Output order follows the
+// preserved side — left rows for INNER/LEFT/FULL, right rows for RIGHT —
+// with FULL's unmatched right rows appended last in ascending order,
+// matching the vectorized pipeline's probe order exactly (the differential
+// harness compares results row for row).
 func joinRelationsScalar(left, right *srel, j JoinClause) (*srel, error) {
 	out := &srel{relSchema: concatSchemas(&left.relSchema, &right.relSchema)}
+	nullsLeft := make([]table.Value, len(left.names))
 	nullsRight := make([]table.Value, len(right.names))
+	match := func(lrow, rrow []table.Value) (bool, []table.Value, error) {
+		combined := append(append([]table.Value{}, lrow...), rrow...)
+		v, err := evalExpr(j.On, &rowEnv{rel: out, row: combined})
+		if err != nil {
+			return false, nil, err
+		}
+		b, ok := v.AsBool()
+		return ok && b, combined, nil
+	}
+
+	if j.Kind == table.JoinRight {
+		for _, rrow := range right.rows {
+			matched := false
+			for _, lrow := range left.rows {
+				ok, combined, err := match(lrow, rrow)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					matched = true
+					out.rows = append(out.rows, combined)
+				}
+			}
+			if !matched {
+				out.rows = append(out.rows, append(append([]table.Value{}, nullsLeft...), rrow...))
+			}
+		}
+		return out, nil
+	}
+
+	var rmatched []bool
+	if j.Kind == table.JoinFull {
+		rmatched = make([]bool, len(right.rows))
+	}
 	for _, lrow := range left.rows {
 		matched := false
-		for _, rrow := range right.rows {
-			combined := append(append([]table.Value{}, lrow...), rrow...)
-			v, err := evalExpr(j.On, &rowEnv{rel: out, row: combined})
+		for ri, rrow := range right.rows {
+			ok, combined, err := match(lrow, rrow)
 			if err != nil {
 				return nil, err
 			}
-			if b, ok := v.AsBool(); ok && b {
+			if ok {
 				matched = true
+				if rmatched != nil {
+					rmatched[ri] = true
+				}
 				out.rows = append(out.rows, combined)
 			}
 		}
-		if !matched && j.Kind == table.JoinLeft {
+		if !matched && (j.Kind == table.JoinLeft || j.Kind == table.JoinFull) {
 			out.rows = append(out.rows, append(append([]table.Value{}, lrow...), nullsRight...))
+		}
+	}
+	for ri := range rmatched {
+		if !rmatched[ri] {
+			out.rows = append(out.rows, append(append([]table.Value{}, nullsLeft...), right.rows[ri]...))
 		}
 	}
 	return out, nil

@@ -58,6 +58,12 @@ func TestVectorizedMatchesScalarCorpus(t *testing.T) {
 		"SELECT s.id, p.price FROM sales s JOIN products p ON s.product = p.name WHERE p.price > 40",
 		"SELECT s.id, p.name FROM sales s LEFT JOIN products p ON s.product = p.name ORDER BY s.id",
 		"SELECT s.id FROM sales s JOIN products p ON s.product = p.name AND s.amount > p.price",
+		"SELECT s.id, p.category FROM sales s RIGHT JOIN products p ON s.product = p.name",
+		"SELECT s.id, p.category FROM sales s RIGHT OUTER JOIN products p ON s.product = p.name AND s.qty > 1",
+		"SELECT s.id, p.name FROM sales s FULL OUTER JOIN products p ON s.product = p.name",
+		"SELECT s.id, p.name FROM sales s FULL JOIN products p ON s.product = p.name AND s.amount > 100",
+		"SELECT p.category, COUNT(*) FROM sales s FULL OUTER JOIN products p ON s.product = p.name GROUP BY p.category ORDER BY 1",
+		"SELECT s.region, p.price FROM sales s RIGHT JOIN products p ON s.product = p.name WHERE p.price > 40 ORDER BY s.region, p.price",
 		"SELECT region, COUNT(*) AS n FROM sales WHERE amount IS NOT NULL GROUP BY region HAVING COUNT(*) > 1",
 		"SELECT id FROM sales WHERE region = 'west' AND (product = 'widget' OR qty >= 4)",
 		"SELECT id, amount * qty FROM sales WHERE id BETWEEN 2 AND 5",
@@ -157,9 +163,31 @@ func randCatalog(rng *rand.Rand, rows int) *Catalog {
 	for k := 0; k < 6; k++ {
 		dim.MustAppendRow(table.Int(int64(k)), table.Str(fmt.Sprintf("label%d", k%3)), table.Float(float64(k)*1.5))
 	}
+	// multi is the fan-out join target: mkey values cluster on data.e's
+	// 0..5 with duplicates (one probe row matches several multi rows),
+	// plus keys 8..9 no data row carries (RIGHT/FULL padding) and NULL
+	// keys that never match. score fuels residual ON predicates.
+	multi := table.MustNew("multi",
+		[]string{"mkey", "tag", "score"},
+		[]table.Kind{table.KindInt, table.KindString, table.KindFloat})
+	for i, n := 0, 6+rng.Intn(12); i < n; i++ {
+		var k table.Value
+		switch {
+		case rng.Intn(8) == 0:
+			k = table.Null()
+		case rng.Intn(5) == 0:
+			k = table.Int(int64(8 + rng.Intn(2)))
+		default:
+			k = table.Int(int64(rng.Intn(6)))
+		}
+		multi.MustAppendRow(k,
+			table.Str(fmt.Sprintf("t%d", rng.Intn(4))),
+			table.Float(float64(rng.Intn(80))/10))
+	}
 	c := NewCatalog()
 	c.Register(data)
 	c.Register(dim)
+	c.Register(multi)
 	return c
 }
 
@@ -262,19 +290,40 @@ func randQuery(rng *rand.Rand) string {
 	for i := range items {
 		items[i] = cols[rng.Intn(len(cols))]
 	}
+	// Join templates cover every kind (INNER/LEFT/RIGHT/FULL OUTER) over
+	// both shapes: dim (N:1 — each data row matches at most one dim row)
+	// and multi (1:N fan-out with duplicate keys, missing keys, and NULL
+	// keys), optionally with residual ON conjuncts — including cross-side
+	// residuals, which exercise the batched candidate-pair evaluation.
+	// Residuals are error-free by construction: the hash join skips pairs
+	// the scalar nested loop evaluates, so a data-dependent residual error
+	// could surface in only one executor.
+	fanout := join && rng.Intn(2) == 0
 	if join {
-		items = append(items, "dim.label")
+		if fanout {
+			items = append(items, "multi.tag")
+		} else {
+			items = append(items, "dim.label")
+		}
 	}
 	sb.WriteString(strings.Join(items, ", "))
 	sb.WriteString(" FROM data")
 	if join {
-		if rng.Intn(2) == 0 {
-			sb.WriteString(" LEFT JOIN dim ON data.e = dim.key")
+		kinds := []string{"JOIN", "LEFT JOIN", "RIGHT JOIN", "FULL OUTER JOIN"}
+		kw := kinds[rng.Intn(len(kinds))]
+		if fanout {
+			sb.WriteString(" " + kw + " multi ON data.e = multi.mkey")
+			switch rng.Intn(4) {
+			case 0:
+				sb.WriteString(" AND multi.score > 2.5")
+			case 1:
+				sb.WriteString(" AND data.a < multi.score") // cross-side residual
+			}
 		} else {
-			sb.WriteString(" JOIN dim ON data.e = dim.key")
-		}
-		if rng.Intn(3) == 0 {
-			sb.WriteString(" AND dim.weight > 2.0")
+			sb.WriteString(" " + kw + " dim ON data.e = dim.key")
+			if rng.Intn(3) == 0 {
+				sb.WriteString(" AND dim.weight > 2.0")
+			}
 		}
 	}
 	if rng.Intn(2) == 0 {

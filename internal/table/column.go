@@ -328,6 +328,82 @@ func (c *Column) Gather(idx []int) Column {
 	return out
 }
 
+// GatherPairs returns a new column holding, for each output position j,
+// cell idx[j] — or NULL where nulls[j] is true, in which case idx[j] is
+// ignored. It is the join materialization primitive: outer joins express
+// padding as an explicit null mask instead of sentinel indices, so idx
+// stays a plain gather list of valid rows. A nil nulls mask means no
+// padding and is equivalent to Gather over non-negative indices.
+func (c *Column) GatherPairs(idx []int, nulls []bool) Column {
+	if nulls == nil {
+		return c.Gather(idx)
+	}
+	out := Column{Name: c.Name, Kind: c.Kind, length: len(idx)}
+	if c.boxed != nil {
+		vals := make([]Value, len(idx))
+		for j, i := range idx {
+			if !nulls[j] {
+				vals[j] = c.boxed[i]
+			}
+		}
+		out.boxed = vals
+		return out
+	}
+	out.nulls = make([]bool, len(idx))
+	switch c.Kind {
+	case KindInt:
+		out.ints = make([]int64, len(idx))
+		for j, i := range idx {
+			if nulls[j] || c.nulls[i] {
+				out.nulls[j] = true
+			} else {
+				out.ints[j] = c.ints[i]
+			}
+		}
+	case KindFloat:
+		out.floats = make([]float64, len(idx))
+		for j, i := range idx {
+			if nulls[j] || c.nulls[i] {
+				out.nulls[j] = true
+			} else {
+				out.floats[j] = c.floats[i]
+			}
+		}
+	case KindString:
+		out.strs = make([]string, len(idx))
+		for j, i := range idx {
+			if nulls[j] || c.nulls[i] {
+				out.nulls[j] = true
+			} else {
+				out.strs[j] = c.strs[i]
+			}
+		}
+	case KindBool:
+		out.bools = make([]bool, len(idx))
+		for j, i := range idx {
+			if nulls[j] || c.nulls[i] {
+				out.nulls[j] = true
+			} else {
+				out.bools[j] = c.bools[i]
+			}
+		}
+	case KindTime:
+		out.times = make([]time.Time, len(idx))
+		for j, i := range idx {
+			if nulls[j] || c.nulls[i] {
+				out.nulls[j] = true
+			} else {
+				out.times[j] = c.times[i]
+			}
+		}
+	default:
+		for j := range idx {
+			out.nulls[j] = true
+		}
+	}
+	return out
+}
+
 // GatherSel returns a new column holding the selected cells in order. Span
 // runs are copied range-at-a-time (memcpy on the typed slices) instead of
 // cell-at-a-time; dense selections delegate to Gather. A nil selection

@@ -9,9 +9,128 @@ import (
 type JoinKind uint8
 
 const (
+	// JoinInner keeps only matched (left, right) row pairs.
 	JoinInner JoinKind = iota
+	// JoinLeft keeps every left row; unmatched left rows pad the right
+	// side with NULLs.
 	JoinLeft
+	// JoinRight keeps every right row; unmatched right rows pad the left
+	// side with NULLs. Output rows follow right-row order.
+	JoinRight
+	// JoinFull keeps every row of both sides: the inner matches in
+	// left-probe order, then the unmatched right rows (left side padded)
+	// appended in ascending right-row order.
+	JoinFull
 )
+
+// String returns the SQL spelling of the join kind.
+func (k JoinKind) String() string {
+	switch k {
+	case JoinLeft:
+		return "LEFT"
+	case JoinRight:
+		return "RIGHT"
+	case JoinFull:
+		return "FULL"
+	default:
+		return "INNER"
+	}
+}
+
+// JoinPairs is a join's match list: one entry per output row, kept as
+// parallel per-side row-index lists plus explicit null masks for
+// outer-join padding — never -1 sentinel indices. A nil mask means that
+// side can never be padded by the join's kind (and its index list is a
+// candidate for span-form gathering when strictly ascending). Shared by
+// Table.Join and the SQL engine's parallel join pipeline, so the
+// pair-emission and sweep bookkeeping exist exactly once.
+type JoinPairs struct {
+	Lidx  []int
+	Ridx  []int
+	Lnull []bool // non-nil ⇒ RIGHT/FULL padding may blank left cells
+	Rnull []bool // non-nil ⇒ LEFT/FULL padding may blank right cells
+}
+
+// NewJoinPairs allocates the pair list for a join kind, with the null
+// masks that kind can need (non-nil but empty, so appends stay aligned).
+func NewJoinPairs(kind JoinKind) *JoinPairs {
+	p := &JoinPairs{}
+	if kind == JoinRight || kind == JoinFull {
+		p.Lnull = []bool{}
+	}
+	if kind == JoinLeft || kind == JoinFull {
+		p.Rnull = []bool{}
+	}
+	return p
+}
+
+// Len returns the number of output rows.
+func (p *JoinPairs) Len() int { return len(p.Lidx) }
+
+// Match appends a matched (left row, right row) pair.
+func (p *JoinPairs) Match(l, r int) {
+	p.Lidx = append(p.Lidx, l)
+	p.Ridx = append(p.Ridx, r)
+	if p.Lnull != nil {
+		p.Lnull = append(p.Lnull, false)
+	}
+	if p.Rnull != nil {
+		p.Rnull = append(p.Rnull, false)
+	}
+}
+
+// PadRight appends left row l with a NULL-padded right side (LEFT/FULL).
+func (p *JoinPairs) PadRight(l int) {
+	p.Lidx = append(p.Lidx, l)
+	p.Ridx = append(p.Ridx, 0)
+	if p.Lnull != nil {
+		p.Lnull = append(p.Lnull, false)
+	}
+	p.Rnull = append(p.Rnull, true)
+}
+
+// PadLeft appends right row r with a NULL-padded left side (RIGHT/FULL).
+func (p *JoinPairs) PadLeft(r int) {
+	p.Lidx = append(p.Lidx, 0)
+	p.Ridx = append(p.Ridx, r)
+	p.Lnull = append(p.Lnull, true)
+	if p.Rnull != nil {
+		p.Rnull = append(p.Rnull, false)
+	}
+}
+
+// Concat appends q's pairs to p (chunk merge; concatenating chunk-local
+// lists in chunk order reproduces a serial probe's output order).
+func (p *JoinPairs) Concat(q *JoinPairs) {
+	if q == nil {
+		return
+	}
+	p.Lidx = append(p.Lidx, q.Lidx...)
+	p.Ridx = append(p.Ridx, q.Ridx...)
+	if p.Lnull != nil {
+		p.Lnull = append(p.Lnull, q.Lnull...)
+	}
+	if p.Rnull != nil {
+		p.Rnull = append(p.Rnull, q.Rnull...)
+	}
+}
+
+// SweepUnmatchedRight appends, for a FULL join, the right-side rows no
+// surviving pair matched — left-padded, in ascending row order. This is
+// the final step that defines FULL OUTER output order.
+func (p *JoinPairs) SweepUnmatchedRight(nright int) {
+	matched := make([]bool, nright)
+	for i, r := range p.Ridx {
+		if p.Rnull == nil || !p.Rnull[i] {
+			matched[r] = true
+		}
+	}
+	for r := 0; r < nright; r++ {
+		if !matched[r] {
+			p.PadLeft(r)
+		}
+	}
+}
 
 // Join hash-joins t (left) with right on leftCol = rightCol. Output columns
 // are all left columns followed by all right columns; name collisions on the
@@ -20,7 +139,8 @@ const (
 // The join materializes matched (left, right) row-index pairs and then
 // gathers each output column in one pass over columnar storage, with typed
 // fast paths for int and string keys that avoid boxing and key-string
-// allocation entirely.
+// allocation entirely. Outer-join padding is carried as an explicit null
+// mask handed to GatherPairs, not as sentinel indices.
 func (t *Table) Join(right *Table, leftCol, rightCol string, kind JoinKind) (*Table, error) {
 	li := t.ColumnIndex(leftCol)
 	if li < 0 {
@@ -31,13 +151,13 @@ func (t *Table) Join(right *Table, leftCol, rightCol string, kind JoinKind) (*Ta
 		return nil, fmt.Errorf("join: unknown right column %q on %s", rightCol, right.Name)
 	}
 
-	lidx, ridx := hashJoinIndices(&t.Columns[li], &right.Columns[ri], kind)
+	pairs := hashJoinPairs(&t.Columns[li], &right.Columns[ri], kind)
 
 	out := &Table{Name: t.Name + "_" + right.Name}
 	taken := make(map[string]bool, len(t.Columns)+len(right.Columns))
 	for i := range t.Columns {
 		taken[strings.ToLower(t.Columns[i].Name)] = true
-		out.Columns = append(out.Columns, t.Columns[i].Gather(lidx))
+		out.Columns = append(out.Columns, t.Columns[i].GatherPairs(pairs.Lidx, pairs.Lnull))
 	}
 	for i := range right.Columns {
 		name := right.Columns[i].Name
@@ -45,33 +165,53 @@ func (t *Table) Join(right *Table, leftCol, rightCol string, kind JoinKind) (*Ta
 			name = right.Name + "." + right.Columns[i].Name
 		}
 		taken[strings.ToLower(name)] = true
-		col := right.Columns[i].Gather(ridx)
+		col := right.Columns[i].GatherPairs(pairs.Ridx, pairs.Rnull)
 		col.Name = name
 		out.Columns = append(out.Columns, col)
 	}
 	return out, nil
 }
 
-// hashJoinIndices computes the matched row-index pairs for an equi-join on
-// lc = rc. For left joins, unmatched left rows pair with -1 (NULL padding
-// in Gather).
-func hashJoinIndices(lc, rc *Column, kind JoinKind) (lidx, ridx []int) {
+// hashJoinPairs computes the pair list for a single-key equi-join on
+// lc = rc. Inner, left, and full joins probe left rows in order; right
+// joins probe right rows in order, so their output follows the preserved
+// (right) side. Full joins sweep the unmatched right rows after the
+// probe, in ascending right-row order.
+func hashJoinPairs(lc, rc *Column, kind JoinKind) *JoinPairs {
+	pairs := NewJoinPairs(kind)
+
+	if kind == JoinRight {
+		probe := NewHashProbe([]*Column{rc}, []*Column{lc})
+		for r, n := 0, rc.Len(); r < n; r++ {
+			matches := probe(r)
+			if len(matches) == 0 {
+				pairs.PadLeft(r)
+				continue
+			}
+			for _, l := range matches {
+				pairs.Match(l, r)
+			}
+		}
+		return pairs
+	}
+
 	probe := NewHashProbe([]*Column{lc}, []*Column{rc})
 	for l, n := 0, lc.Len(); l < n; l++ {
 		matches := probe(l)
 		if len(matches) == 0 {
-			if kind == JoinLeft {
-				lidx = append(lidx, l)
-				ridx = append(ridx, -1)
+			if kind != JoinInner {
+				pairs.PadRight(l)
 			}
 			continue
 		}
 		for _, r := range matches {
-			lidx = append(lidx, l)
-			ridx = append(ridx, r)
+			pairs.Match(l, r)
 		}
 	}
-	return lidx, ridx
+	if kind == JoinFull {
+		pairs.SweepUnmatchedRight(rc.Len())
+	}
+	return pairs
 }
 
 // NewHashProbe builds a hash index over the key columns of the right side

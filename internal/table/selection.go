@@ -2,7 +2,8 @@ package table
 
 import "sort"
 
-// Span is a half-open row range [Lo, Hi).
+// Span is a half-open row range [Lo, Hi): Lo is the first row covered,
+// Hi the first row past the end.
 type Span struct{ Lo, Hi int }
 
 // Selection is an ordered set of row indices — the engine's description of

@@ -275,6 +275,81 @@ func TestJoinLeftKeepsUnmatched(t *testing.T) {
 	}
 }
 
+func TestJoinRightKeepsUnmatched(t *testing.T) {
+	left := MustNew("l", []string{"k"}, []Kind{KindInt})
+	left.MustAppendRow(Int(1))
+	left.MustAppendRow(Int(1))
+	right := MustNew("r", []string{"k", "v"}, []Kind{KindInt, KindString})
+	right.MustAppendRow(Int(1), Str("hit"))
+	right.MustAppendRow(Int(7), Str("lonely"))
+
+	j, err := left.Join(right, "k", "k", JoinRight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Right-row order: both left rows match right row 0, then the
+	// unmatched right row pads the left side.
+	if j.NumRows() != 3 {
+		t.Fatalf("right join rows = %d, want 3", j.NumRows())
+	}
+	if !j.Get(2, "k").IsNull() {
+		t.Errorf("unmatched left key should be NULL, got %v", j.Get(2, "k"))
+	}
+	if j.Get(2, "v").S != "lonely" {
+		t.Errorf("preserved right value = %v", j.Get(2, "v"))
+	}
+}
+
+func TestJoinFullOuter(t *testing.T) {
+	left := MustNew("l", []string{"k"}, []Kind{KindInt})
+	left.MustAppendRow(Int(1))
+	left.MustAppendRow(Int(9))
+	right := MustNew("r", []string{"k", "v"}, []Kind{KindInt, KindString})
+	right.MustAppendRow(Int(1), Str("hit"))
+	right.MustAppendRow(Int(7), Str("lonely"))
+
+	j, err := left.Join(right, "k", "k", JoinFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Match (1,1), left-pad row for 9, then the unmatched right row.
+	if j.NumRows() != 3 {
+		t.Fatalf("full join rows = %d, want 3", j.NumRows())
+	}
+	if j.Get(0, "v").S != "hit" {
+		t.Errorf("matched value = %v", j.Get(0, "v"))
+	}
+	if !j.Get(1, "v").IsNull() || j.Get(1, "k").I != 9 {
+		t.Errorf("left-preserved row = (%v, %v)", j.Get(1, "k"), j.Get(1, "v"))
+	}
+	if !j.Get(2, "k").IsNull() || j.Get(2, "v").S != "lonely" {
+		t.Errorf("sweep row = (%v, %v)", j.Get(2, "k"), j.Get(2, "v"))
+	}
+}
+
+func TestGatherPairsNullMask(t *testing.T) {
+	c := ColumnFromInts("x", []int64{10, 20, 30}, []bool{false, true, false})
+	out := c.GatherPairs([]int{2, 0, 1, 0}, []bool{false, true, false, false})
+	want := []any{int64(30), nil, nil, int64(10)} // masked, then storage NULL
+	for i, w := range want {
+		v := out.Value(i)
+		if w == nil {
+			if !v.IsNull() {
+				t.Errorf("cell %d = %v, want NULL", i, v)
+			}
+			continue
+		}
+		if v.IsNull() || v.I != w.(int64) {
+			t.Errorf("cell %d = %v, want %v", i, v, w)
+		}
+	}
+	// nil mask degenerates to a plain gather.
+	plain := c.GatherPairs([]int{1, 2}, nil)
+	if !plain.Value(0).IsNull() || plain.Value(1).I != 30 {
+		t.Errorf("nil-mask gather = %v, %v", plain.Value(0), plain.Value(1))
+	}
+}
+
 func TestJoinNullKeysNeverMatch(t *testing.T) {
 	left := MustNew("l", []string{"k"}, []Kind{KindString})
 	left.MustAppendRow(Null())

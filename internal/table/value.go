@@ -1,8 +1,3 @@
-// Package table implements the columnar in-memory dataframe engine that
-// underpins DataLab: SQL cells execute against it, Python-cell data
-// operations run on it, and the profiling/insight modules read statistics
-// from it. It plays the role pandas plus the warehouse storage layer play in
-// the paper's deployment.
 package table
 
 import (
@@ -17,11 +12,18 @@ import (
 type Kind uint8
 
 const (
+	// KindNull is the kind of NULL cells and of columns with no typed
+	// storage yet; it is the zero Kind.
 	KindNull Kind = iota
+	// KindInt is 64-bit integer storage.
 	KindInt
+	// KindFloat is 64-bit floating-point storage.
 	KindFloat
+	// KindString is string storage.
 	KindString
+	// KindBool is boolean storage.
 	KindBool
+	// KindTime is timestamp storage.
 	KindTime
 )
 
@@ -45,14 +47,16 @@ func (k Kind) String() string {
 	}
 }
 
-// Value is a dynamically typed cell value. The zero Value is NULL.
+// Value is a dynamically typed cell value. The zero Value is NULL. Kind
+// selects which of the payload fields below is meaningful; the others
+// hold their zero values.
 type Value struct {
 	Kind Kind
-	I    int64
-	F    float64
-	S    string
-	B    bool
-	T    time.Time
+	I    int64     // payload when Kind == KindInt
+	F    float64   // payload when Kind == KindFloat
+	S    string    // payload when Kind == KindString
+	B    bool      // payload when Kind == KindBool
+	T    time.Time // payload when Kind == KindTime
 }
 
 // Constructors.
