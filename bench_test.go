@@ -600,6 +600,73 @@ func BenchmarkPreparedExecReparse(b *testing.B) {
 	}
 }
 
+// BenchmarkPreparedBind100k is the steady-state hot loop the placeholder
+// API exists for: one prepared template over the 100k-row catalog, a fresh
+// argument bound every execution. Binding is a slice write per slot; against
+// BenchmarkPreparedExecReparse the delta is the parse/plan cost avoided.
+func BenchmarkPreparedBind100k(b *testing.B) {
+	cat := benchBigCatalog(benchRows)
+	stmt, err := cat.Prepare("SELECT region, SUM(amount) AS total, COUNT(*) FROM big WHERE qty < ? GROUP BY region ORDER BY total DESC LIMIT ?")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stmt.Exec(ctx, 1+i%12, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryFingerprintHit: Query text changes every iteration but all
+// texts normalize to one template, so steady state is fingerprint + plan
+// cache hit + execute — no parsing. This is the agent-traffic shape the
+// fingerprint normalizer was built for.
+func BenchmarkQueryFingerprintHit(b *testing.B) {
+	cat := benchBigCatalog(64)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := fmt.Sprintf("SELECT region, SUM(amount) FROM big WHERE qty < %d AND region <> '%s' GROUP BY region", 1+i%12, "apac")
+		if _, err := cat.QueryCtx(ctx, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryFingerprintMiss: every text is a structurally distinct
+// template (the alias defeats normalization), so each iteration pays
+// fingerprint + full parse + cache insert — the worst case, bounding the
+// normalizer's overhead on top of a guaranteed miss.
+func BenchmarkQueryFingerprintMiss(b *testing.B) {
+	cat := benchBigCatalog(64)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := fmt.Sprintf("SELECT id AS c%d FROM big WHERE id < %d", i, i%64)
+		if _, err := cat.QueryCtx(ctx, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFingerprintOnly isolates the normalizer itself: lex + splice,
+// no cache, no execution.
+func BenchmarkFingerprintOnly(b *testing.B) {
+	const q = "SELECT region, SUM(amount) FROM big WHERE qty < 7 AND region <> 'apac' AND id IN (1, 2, 3) GROUP BY region HAVING COUNT(*) > 2 LIMIT 5"
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := sqlengine.Fingerprint(q); !ok {
+			b.Fatal("fingerprint failed")
+		}
+	}
+}
+
 // BenchmarkConcurrentQuery measures throughput with many goroutines sharing
 // the catalog and the engine's bounded worker pool.
 func BenchmarkConcurrentQuery(b *testing.B) {

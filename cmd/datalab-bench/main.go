@@ -5,6 +5,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,7 +19,8 @@ import (
 func main() {
 	scale := flag.Float64("scale", 1.0, "fraction of full workload sizes (0,1]")
 	seed := flag.String("seed", "datalab-v1", "experiment seed")
-	only := flag.String("only", "", "run a single experiment: table1|figure6|knowgen|table2|table3|figure7|table4|engine")
+	only := flag.String("only", "", "run a single experiment: table1|figure6|knowgen|table2|table3|figure7|table4|engine|plancache")
+	plancacheOut := flag.String("plancache-out", "BENCH_plancache.json", "output path for the plan-cache workload snapshot")
 	flag.Parse()
 
 	run := func(name string) bool { return *only == "" || *only == name }
@@ -95,6 +97,14 @@ func main() {
 		fmt.Println("== Engine: typed result consumption & prepared statements ==")
 		if err := engineDemo(int(100_000 * *scale)); err != nil {
 			fmt.Fprintln(os.Stderr, "engine:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+	if run("plancache") {
+		fmt.Println("== Plan cache: fingerprint + bound-parameter workloads ==")
+		if err := planCacheBench(int(100_000**scale), *plancacheOut); err != nil {
+			fmt.Fprintln(os.Stderr, "plancache:", err)
 			os.Exit(1)
 		}
 	}
@@ -175,8 +185,115 @@ func engineDemo(rows int) error {
 		}
 	}
 	perExec := time.Since(start) / reps
-	hits, misses, size := cat.PlanCacheStats()
+	st := cat.PlanCacheStats()
 	fmt.Printf("prepared stmt:   %d executions, %v/exec, zero re-parses\n", reps, perExec)
-	fmt.Printf("plan cache:      %d hits, %d misses, %d entries\n", hits, misses, size)
+	fmt.Printf("plan cache:      %d hits, %d misses, %d entries\n", st.Hits, st.Misses, st.Size)
+	return nil
+}
+
+// planCacheSnapshot is the BENCH_plancache.json schema: one record per
+// workload, capturing throughput and plan-cache effectiveness so the
+// perf trajectory is tracked as data, not prose.
+type planCacheSnapshot struct {
+	Workload   string  `json:"workload"`
+	Queries    int     `json:"queries"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	Hits       int64   `json:"hits"`
+	Misses     int64   `json:"misses"`
+	HitRate    float64 `json:"hit_rate"`
+	ParseCalls int64   `json:"parse_calls"`
+}
+
+// planCacheBench drives the literal-varying template workload the plan
+// cache exists for: one SQL shape, thousands of distinct literals, issued
+// both as inlined text (fingerprint path) and through Prepared.Exec with
+// bound parameters. It writes BENCH_plancache.json and fails when the
+// steady-state hit rate falls below 99%.
+func planCacheBench(rows int, outPath string) error {
+	if rows < 1000 {
+		rows = 1000
+	}
+	t := table.MustNew("events",
+		[]string{"id", "kind", "value"},
+		[]table.Kind{table.KindInt, table.KindString, table.KindFloat})
+	kinds := []string{"view", "click", "buy"}
+	for i := 0; i < rows; i++ {
+		t.MustAppendRow(
+			table.Int(int64(i)),
+			table.Str(kinds[i%len(kinds)]),
+			table.Float(float64((i*7919)%10000)/100),
+		)
+	}
+	cat := sqlengine.NewCatalog()
+	cat.Register(t)
+	ctx := context.Background()
+	queries := rows / 10
+	if queries < 1000 {
+		queries = 1000
+	}
+
+	var snaps []planCacheSnapshot
+
+	// Inlined literals: every text is distinct, but all normalize to one
+	// template, so everything after the first query hits the cache.
+	parse0 := sqlengine.ParseCalls()
+	start := time.Now()
+	for i := 0; i < queries; i++ {
+		if _, err := cat.QueryCtx(ctx, fmt.Sprintf("SELECT COUNT(*) FROM events WHERE id < %d AND kind = '%s'", i%rows, kinds[i%len(kinds)])); err != nil {
+			return err
+		}
+	}
+	elapsed := time.Since(start)
+	st := cat.PlanCacheStats()
+	snaps = append(snaps, planCacheSnapshot{
+		Workload:   "query_inlined_literals",
+		Queries:    queries,
+		NsPerOp:    float64(elapsed.Nanoseconds()) / float64(queries),
+		Hits:       st.Hits,
+		Misses:     st.Misses,
+		HitRate:    st.HitRate(),
+		ParseCalls: sqlengine.ParseCalls() - parse0,
+	})
+	fmt.Printf("fingerprinted:   %d distinct texts -> %d parse(s), hit rate %.4f  (%v/query)\n",
+		queries, sqlengine.ParseCalls()-parse0, st.HitRate(), elapsed/time.Duration(queries))
+
+	// Prepared + bound parameters: the explicit-placeholder fast path.
+	stmt, err := cat.Prepare("SELECT COUNT(*) FROM events WHERE id < ? AND kind = ?")
+	if err != nil {
+		return err
+	}
+	parse1 := sqlengine.ParseCalls()
+	start = time.Now()
+	for i := 0; i < queries; i++ {
+		if _, err := stmt.Exec(ctx, i%rows, kinds[i%len(kinds)]); err != nil {
+			return err
+		}
+	}
+	elapsed = time.Since(start)
+	st2 := cat.PlanCacheStats()
+	snaps = append(snaps, planCacheSnapshot{
+		Workload:   "prepared_bound_params",
+		Queries:    queries,
+		NsPerOp:    float64(elapsed.Nanoseconds()) / float64(queries),
+		Hits:       st2.Hits - st.Hits,
+		Misses:     st2.Misses - st.Misses,
+		HitRate:    1, // Exec never consults the cache: the plan is pinned
+		ParseCalls: sqlengine.ParseCalls() - parse1,
+	})
+	fmt.Printf("prepared+bind:   %d executions -> %d re-parse(s)  (%v/query)\n",
+		queries, sqlengine.ParseCalls()-parse1, elapsed/time.Duration(queries))
+
+	data, err := json.MarshalIndent(snaps, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("snapshot:        %s\n", outPath)
+
+	if hr := snaps[0].HitRate; hr < 0.99 {
+		return fmt.Errorf("plan-cache hit rate %.4f below the 0.99 floor on the template workload", hr)
+	}
 	return nil
 }

@@ -302,18 +302,29 @@ func (p *Platform) Ask(query, tableName string) (*Answer, error) {
 }
 
 // QueryCtx executes raw SQL against the catalog (the SQL-cell path) and
-// returns a typed, batch-iterable Result. Parsing goes through the
-// catalog's LRU plan cache; ctx cancels mid-scan between worker-pool
-// chunks.
+// returns a typed, batch-iterable Result. The text is fingerprinted
+// first — literals are extracted and the plan cache is keyed by the
+// resulting template — so structurally identical queries that differ only
+// in their literal values parse once and share one cached plan. ctx
+// cancels mid-scan between worker-pool chunks.
 func (p *Platform) QueryCtx(ctx context.Context, sql string) (*Result, error) {
 	return p.catalog.QueryCtx(ctx, sql)
 }
 
 // Prepare parses sql once and returns a reusable statement handle; Exec
-// never re-parses. Table names bind at execute time, so a prepared
-// statement observes later LoadCSV/LoadRecords registrations.
+// never re-parses. The text may declare `?` or `:name` placeholders bound
+// per execution (see Stmt). Table names bind at execute time, so a
+// prepared statement observes later LoadCSV/LoadRecords registrations.
 func (p *Platform) Prepare(sql string) (*Stmt, error) {
 	return p.catalog.Prepare(sql)
+}
+
+// PlanCacheStats snapshots the catalog's plan-cache counters — hit/miss
+// accounting, evictions, and how many lookups went through the query
+// fingerprinter. A hit rate near 1.0 on steady-state traffic means the
+// workload's templates fit the cache and parsing has been amortized away.
+func (p *Platform) PlanCacheStats() PlanCacheStats {
+	return p.catalog.PlanCacheStats()
 }
 
 // Query executes raw SQL and materializes the full result as strings.

@@ -50,6 +50,25 @@ func (l *Literal) SQL() string {
 	}
 }
 
+// Param is a bind placeholder: `?` (positional) or `:name` (named). Index
+// is the statement's 0-based binding slot; every occurrence of one :name
+// shares a slot. A Param carries no value — executors resolve it through
+// the per-execution binding slice, so one cached statement serves
+// concurrent executions with different arguments and the AST is never
+// mutated.
+type Param struct {
+	Index int
+	Name  string // empty for positional ?
+}
+
+// SQL implements Expr.
+func (p *Param) SQL() string {
+	if p.Name != "" {
+		return ":" + p.Name
+	}
+	return "?"
+}
+
 // Binary is a binary operation: arithmetic, comparison, AND/OR, LIKE.
 type Binary struct {
 	Op   string // "=", "<>", "<", "<=", ">", ">=", "+", "-", "*", "/", "%", "AND", "OR", "LIKE", "||"
@@ -211,7 +230,23 @@ type SelectStmt struct {
 	OrderBy  []OrderItem
 	Limit    int // -1 when absent
 	Offset   int
+	// LimitParam/OffsetParam are set when the LIMIT/OFFSET operand is a
+	// placeholder; the executor resolves them from the binding slice into a
+	// shallow copy at execute time, so the cached statement stays immutable.
+	LimitParam  *Param
+	OffsetParam *Param
+	// Params names the statement's binding slots in slot order: "" for a
+	// positional ?, the bare name for :name.
+	Params []string
 }
+
+// NumParams reports how many binding slots (? or :name) the statement
+// declares.
+func (s *SelectStmt) NumParams() int { return len(s.Params) }
+
+// ParamNames returns a copy of the slot names in slot order; positional
+// slots are "".
+func (s *SelectStmt) ParamNames() []string { return append([]string(nil), s.Params...) }
 
 // OrderItem is one ORDER BY criterion.
 type OrderItem struct {
@@ -277,10 +312,16 @@ func (s *SelectStmt) SQL() string {
 		}
 		sb.WriteString(" ORDER BY " + strings.Join(parts, ", "))
 	}
-	if s.Limit >= 0 {
+	switch {
+	case s.LimitParam != nil:
+		sb.WriteString(" LIMIT " + s.LimitParam.SQL())
+	case s.Limit >= 0:
 		fmt.Fprintf(&sb, " LIMIT %d", s.Limit)
 	}
-	if s.Offset > 0 {
+	switch {
+	case s.OffsetParam != nil:
+		sb.WriteString(" OFFSET " + s.OffsetParam.SQL())
+	case s.Offset > 0:
 		fmt.Fprintf(&sb, " OFFSET %d", s.Offset)
 	}
 	return sb.String()

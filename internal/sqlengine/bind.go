@@ -1,0 +1,200 @@
+package sqlengine
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"datalab/internal/table"
+)
+
+// Parameter binding. A prepared statement's placeholders resolve through a
+// per-execution binding slice ([]table.Value indexed by slot): the cached
+// AST is never mutated, so one *SelectStmt serves concurrent executions
+// with different arguments. bindAt is the single resolution point used by
+// every evaluator env and by the vectorized constant fast paths.
+
+// bindAt resolves a placeholder against an execution's binding slice.
+func bindAt(binds []table.Value, p *Param) (table.Value, error) {
+	if p.Index < 0 || p.Index >= len(binds) {
+		return table.Null(), errUnbound(p)
+	}
+	return binds[p.Index], nil
+}
+
+func errUnbound(p *Param) error {
+	if p.Name != "" {
+		return fmt.Errorf("sql: parameter :%s is not bound (execute with Prepared.Exec(ctx, args...) or Bind)", p.Name)
+	}
+	return fmt.Errorf("sql: parameter %d is not bound (execute with Prepared.Exec(ctx, args...) or Bind)", p.Index+1)
+}
+
+// bindValue converts one Go argument to the engine value its placeholder
+// resolves to. nil binds SQL NULL; a table.Value passes through untouched.
+func bindValue(arg any) (table.Value, error) {
+	switch v := arg.(type) {
+	case nil:
+		return table.Null(), nil
+	case table.Value:
+		return v, nil
+	case bool:
+		return table.Bool(v), nil
+	case int:
+		return table.Int(int64(v)), nil
+	case int8:
+		return table.Int(int64(v)), nil
+	case int16:
+		return table.Int(int64(v)), nil
+	case int32:
+		return table.Int(int64(v)), nil
+	case int64:
+		return table.Int(v), nil
+	case uint:
+		return table.Int(int64(v)), nil
+	case uint8:
+		return table.Int(int64(v)), nil
+	case uint16:
+		return table.Int(int64(v)), nil
+	case uint32:
+		return table.Int(int64(v)), nil
+	case uint64:
+		if v > math.MaxInt64 {
+			return table.Null(), fmt.Errorf("sql: uint64 argument %d overflows int64", v)
+		}
+		return table.Int(int64(v)), nil
+	case float32:
+		return table.Float(float64(v)), nil
+	case float64:
+		return table.Float(v), nil
+	case string:
+		return table.Str(v), nil
+	case time.Time:
+		return table.Time(v), nil
+	default:
+		return table.Null(), fmt.Errorf("sql: cannot bind %T as a parameter", arg)
+	}
+}
+
+// bindArgs validates args against the statement's declared slots and
+// converts them to the binding slice, erroring on count or kind mismatch.
+func bindArgs(stmt *SelectStmt, args []any) ([]table.Value, error) {
+	if len(args) != stmt.NumParams() {
+		return nil, fmt.Errorf("sql: statement has %d parameter(s), got %d argument(s)", stmt.NumParams(), len(args))
+	}
+	if len(args) == 0 {
+		return nil, nil
+	}
+	binds := make([]table.Value, len(args))
+	for i, a := range args {
+		v, err := bindValue(a)
+		if err != nil {
+			return nil, fmt.Errorf("sql: argument %d: %w", i+1, err)
+		}
+		binds[i] = v
+	}
+	return binds, nil
+}
+
+// resolveBinds validates the binding slice against the statement and
+// resolves a placeholder LIMIT/OFFSET into a shallow copy, leaving the
+// cached statement untouched for concurrent executors.
+func resolveBinds(stmt *SelectStmt, binds []table.Value) (*SelectStmt, error) {
+	if len(binds) != stmt.NumParams() {
+		return nil, fmt.Errorf("sql: statement has %d parameter(s), %d bound", stmt.NumParams(), len(binds))
+	}
+	if stmt.LimitParam == nil && stmt.OffsetParam == nil {
+		return stmt, nil
+	}
+	cp := *stmt
+	if stmt.LimitParam != nil {
+		n, err := bindLimitValue(binds, stmt.LimitParam, "LIMIT")
+		if err != nil {
+			return nil, err
+		}
+		cp.Limit = n
+	}
+	if stmt.OffsetParam != nil {
+		n, err := bindLimitValue(binds, stmt.OffsetParam, "OFFSET")
+		if err != nil {
+			return nil, err
+		}
+		cp.Offset = n
+	}
+	return &cp, nil
+}
+
+func bindLimitValue(binds []table.Value, p *Param, clause string) (int, error) {
+	v, err := bindAt(binds, p)
+	if err != nil {
+		return 0, err
+	}
+	if v.Kind != table.KindInt || v.I < 0 {
+		return 0, fmt.Errorf("sql: %s requires a non-negative integer parameter, got %s", clause, v.AsString())
+	}
+	return int(v.I), nil
+}
+
+// Bound is a prepared statement with its arguments attached — the output
+// of Prepared.Bind/BindNamed. It is immutable and safe for concurrent and
+// repeated Exec.
+type Bound struct {
+	p     *Prepared
+	binds []table.Value
+}
+
+// Exec executes the bound statement, honoring ctx cancellation.
+func (b *Bound) Exec(ctx context.Context) (*Result, error) {
+	return b.p.cat.executeResultBound(ctx, b.p.stmt, b.binds)
+}
+
+// SQL returns the statement text the handle was prepared from.
+func (b *Bound) SQL() string { return b.p.sql }
+
+// Bind validates args (count and representability) against the statement's
+// placeholders, in slot order, and returns an executable Bound handle.
+func (p *Prepared) Bind(args ...any) (*Bound, error) {
+	binds, err := bindArgs(p.stmt, args)
+	if err != nil {
+		return nil, err
+	}
+	return &Bound{p: p, binds: binds}, nil
+}
+
+// BindNamed binds :name placeholders by name. Every declared name must be
+// present in args, every key in args must name a slot, and the statement
+// must not mix in positional placeholders.
+func (p *Prepared) BindNamed(args map[string]any) (*Bound, error) {
+	names := p.stmt.Params
+	binds := make([]table.Value, len(names))
+	for i, name := range names {
+		if name == "" {
+			return nil, fmt.Errorf("sql: slot %d is positional; use Bind", i+1)
+		}
+		a, ok := args[name]
+		if !ok {
+			return nil, fmt.Errorf("sql: missing argument for :%s", name)
+		}
+		v, err := bindValue(a)
+		if err != nil {
+			return nil, fmt.Errorf("sql: argument :%s: %w", name, err)
+		}
+		binds[i] = v
+	}
+	for k := range args {
+		if _, ok := p.stmt.paramSlot(k); !ok {
+			return nil, fmt.Errorf("sql: argument :%s does not name a parameter", k)
+		}
+	}
+	return &Bound{p: p, binds: binds}, nil
+}
+
+// paramSlot finds the slot index of a named placeholder.
+func (s *SelectStmt) paramSlot(name string) (int, bool) {
+	for i, n := range s.Params {
+		if n != "" && n == name {
+			return i, true
+		}
+	}
+	return 0, false
+}

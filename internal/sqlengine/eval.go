@@ -16,6 +16,9 @@ type env interface {
 	// resolveAggregate returns the value of an aggregate call, or an error
 	// when aggregates are not valid in this context.
 	resolveAggregate(fn *FuncCall) (table.Value, error)
+	// resolveParam returns the value bound to a placeholder, or an error
+	// when the execution carries no binding for it.
+	resolveParam(p *Param) (table.Value, error)
 }
 
 // evalExpr evaluates e in the given environment.
@@ -23,6 +26,8 @@ func evalExpr(e Expr, ev env) (table.Value, error) {
 	switch x := e.(type) {
 	case *Literal:
 		return x.Value, nil
+	case *Param:
+		return ev.resolveParam(x)
 	case *ColumnRef:
 		return ev.resolveColumn(x)
 	case *Unary:

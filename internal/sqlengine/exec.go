@@ -67,25 +67,28 @@ func (c *Catalog) TableNames() []string {
 }
 
 // Query parses and executes a SELECT against the catalog using the
-// vectorized executor, returning a fully materialized table. Parsing goes
-// through the plan cache, so repeated texts parse once.
+// vectorized executor, returning a fully materialized table. The text is
+// fingerprinted to a parameter template first (see Fingerprint), so
+// literal-varying traffic shares one plan-cache entry and repeated
+// templates parse once.
 func (c *Catalog) Query(sql string) (*table.Table, error) {
-	stmt, err := c.plan(sql)
+	stmt, binds, err := c.planQuery(sql)
 	if err != nil {
 		return nil, err
 	}
-	return c.ExecuteCtx(context.Background(), stmt)
+	return c.executeCtxBound(context.Background(), stmt, binds)
 }
 
-// QueryCtx parses (through the plan cache) and executes a SELECT, honoring
-// ctx cancellation, and returns a typed batch-iterable Result instead of a
-// materialized table — the primary query entry point.
+// QueryCtx parses (through fingerprinting and the plan cache, like Query)
+// and executes a SELECT, honoring ctx cancellation, and returns a typed
+// batch-iterable Result instead of a materialized table — the primary
+// query entry point.
 func (c *Catalog) QueryCtx(ctx context.Context, sql string) (*Result, error) {
-	stmt, err := c.plan(sql)
+	stmt, binds, err := c.planQuery(sql)
 	if err != nil {
 		return nil, err
 	}
-	return c.ExecuteResult(ctx, stmt)
+	return c.executeResultBound(ctx, stmt, binds)
 }
 
 // relSchema is the column metadata shared by the vectorized and scalar
@@ -145,11 +148,14 @@ func errAggInRowContext(fn *FuncCall) error {
 
 // vrel is the vectorized executor's working representation: shared schema
 // plus column vectors. Base-table scans share storage with the catalog
-// tables (zero copy); the columns must be treated as read-only.
+// tables (zero copy); the columns must be treated as read-only. binds is
+// the execution's parameter bindings (nil without placeholders), carried
+// on the relation so cached statements stay shared across executions.
 type vrel struct {
 	relSchema
 	cols  []table.Column
 	nrows int
+	binds []table.Value
 }
 
 func vrelFrom(t *table.Table, qual string) *vrel {
@@ -169,9 +175,20 @@ func (c *Catalog) Execute(stmt *SelectStmt) (*table.Table, error) {
 // ExecuteCtx is Execute with cancellation: ctx is observed between pipeline
 // stages and between worker-pool chunks, so a cancelled context stops a
 // large scan, sort, or aggregation within one chunk's worth of work and
-// returns ctx.Err().
+// returns ctx.Err(). Statements with placeholders must execute through
+// Prepared.Exec/Bind (or Query, which binds its own extracted literals);
+// here they fail with an unbound-parameter error.
 func (c *Catalog) ExecuteCtx(ctx context.Context, stmt *SelectStmt) (*table.Table, error) {
-	rel, sel, grouped, err := c.scanFilter(ctx, stmt)
+	return c.executeCtxBound(ctx, stmt, nil)
+}
+
+// executeCtxBound is ExecuteCtx with the execution's parameter bindings.
+func (c *Catalog) executeCtxBound(ctx context.Context, stmt *SelectStmt, binds []table.Value) (*table.Table, error) {
+	stmt, err := resolveBinds(stmt, binds)
+	if err != nil {
+		return nil, err
+	}
+	rel, sel, grouped, err := c.scanFilter(ctx, stmt, binds)
 	if err != nil {
 		return nil, err
 	}
@@ -201,7 +218,18 @@ func executeMaterialized(ctx context.Context, stmt *SelectStmt, rel *vrel, sel *
 // arithmetic — no output is materialized at all. Every other shape runs
 // the materializing executor and wraps its output table.
 func (c *Catalog) ExecuteResult(ctx context.Context, stmt *SelectStmt) (*Result, error) {
-	rel, sel, grouped, err := c.scanFilter(ctx, stmt)
+	return c.executeResultBound(ctx, stmt, nil)
+}
+
+// executeResultBound is ExecuteResult with the execution's parameter
+// bindings: the shared execution core behind QueryCtx, Prepared.Exec and
+// Bound.Exec.
+func (c *Catalog) executeResultBound(ctx context.Context, stmt *SelectStmt, binds []table.Value) (*Result, error) {
+	stmt, err := resolveBinds(stmt, binds)
+	if err != nil {
+		return nil, err
+	}
+	rel, sel, grouped, err := c.scanFilter(ctx, stmt, binds)
 	if err != nil {
 		return nil, err
 	}
@@ -220,7 +248,7 @@ func (c *Catalog) ExecuteResult(ctx context.Context, stmt *SelectStmt) (*Result,
 // scanFilter runs the shared pipeline prefix: scan, joins, WHERE filtering,
 // and LIMIT pushdown. It returns the working relation, the selection of
 // surviving rows (nil = all), and whether the query is grouped.
-func (c *Catalog) scanFilter(ctx context.Context, stmt *SelectStmt) (*vrel, *table.Selection, bool, error) {
+func (c *Catalog) scanFilter(ctx context.Context, stmt *SelectStmt, binds []table.Value) (*vrel, *table.Selection, bool, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, nil, false, err
 	}
@@ -233,6 +261,7 @@ func (c *Catalog) scanFilter(ctx context.Context, stmt *SelectStmt) (*vrel, *tab
 		qual = stmt.FromAs
 	}
 	rel := vrelFrom(base, qual)
+	rel.binds = binds
 
 	var keep *joinKeepSet
 	if len(stmt.Joins) > 0 {
@@ -747,6 +776,10 @@ func (e *vGroupEnv) resolveColumn(ref *ColumnRef) (table.Value, error) {
 		return table.Null(), nil
 	}
 	return e.rel.cols[i].Value(e.rows.RowAt(0)), nil
+}
+
+func (e *vGroupEnv) resolveParam(p *Param) (table.Value, error) {
+	return bindAt(e.rel.binds, p)
 }
 
 func (e *vGroupEnv) resolveAggregate(fn *FuncCall) (table.Value, error) {

@@ -1,0 +1,102 @@
+package sqlengine
+
+import (
+	"strings"
+
+	"datalab/internal/table"
+)
+
+// Query fingerprinting. Agent-generated traffic is dominated by one SQL
+// template issued with ever-changing literals; keyed on exact text, the
+// plan cache misses on every query. Fingerprint normalizes a text into a
+// parameter template plus the extracted literal values, so Query/QueryCtx
+// can key the plan cache by template and execute the cached statement with
+// the values as bindings — structurally identical queries parse once.
+//
+// Extraction is token-based and deliberately conservative:
+//
+//   - Number, string, and bare NULL literals are replaced by `?`; the
+//     template keeps every other byte of the original text, so quoting and
+//     whitespace survive untouched. Quoted identifiers ("5", `5`) are
+//     ident tokens and are never extracted.
+//   - Only literals in FROM/ON, WHERE, HAVING, LIMIT and OFFSET positions
+//     are extracted. Select-list literals name output columns, and GROUP
+//     BY / ORDER BY integers are positional references — parameterizing
+//     either would change results.
+//   - The NULL terminating IS [NOT] NULL is grammar, not a literal.
+//   - IN-lists extract per element, so lists of different arity normalize
+//     to distinct templates with matching slot counts.
+//   - Texts that already contain placeholders are returned unchanged
+//     (ok=false): their slot indexes would collide with extracted ones.
+//
+// Callers must verify the parsed template declares exactly len(values)
+// slots before executing (planQuery falls back to the raw text otherwise),
+// which keeps any literal position the grammar does not parameterize —
+// e.g. a string select-item alias — correct rather than merely cached.
+
+// Fingerprint normalizes sql into a parameter template and the literal
+// values extracted from it, in slot order. ok=false means the text could
+// not be fingerprinted (lex error, or placeholders already present) and
+// must be planned as-is. With ok=true and no extractable literals, the
+// template is the input text itself.
+func Fingerprint(sql string) (template string, values []table.Value, ok bool) {
+	toks, err := lex(sql)
+	if err != nil {
+		return sql, nil, false
+	}
+	var sb strings.Builder
+	last := 0
+	extract := false // false until FROM: the select list never parameterizes
+	replace := func(t *token, v table.Value) {
+		sb.WriteString(sql[last:t.pos])
+		sb.WriteByte('?')
+		last = t.end
+		values = append(values, v)
+	}
+	for k := range toks {
+		t := &toks[k]
+		switch t.kind {
+		case tokParam:
+			return sql, nil, false
+		case tokKeyword:
+			switch t.text {
+			case "FROM", "ON", "WHERE", "HAVING", "LIMIT", "OFFSET":
+				extract = true
+			case "SELECT", "GROUP", "ORDER":
+				extract = false
+			case "NULL":
+				if extract && !isNullPredicate(toks, k) {
+					replace(t, table.Null())
+				}
+			}
+		case tokNumber:
+			if !extract {
+				continue
+			}
+			v, err := literalFromNumber(t.text)
+			if err != nil {
+				return sql, nil, false
+			}
+			replace(t, v)
+		case tokString:
+			if extract {
+				replace(t, table.Str(t.text))
+			}
+		}
+	}
+	if len(values) == 0 {
+		return sql, nil, true
+	}
+	sb.WriteString(sql[last:])
+	return sb.String(), values, true
+}
+
+// isNullPredicate reports whether the NULL keyword at toks[k] terminates an
+// IS [NOT] NULL predicate.
+func isNullPredicate(toks []token, k int) bool {
+	if k >= 1 && toks[k-1].kind == tokKeyword && toks[k-1].text == "IS" {
+		return true
+	}
+	return k >= 2 && toks[k-1].kind == tokKeyword && toks[k-1].text == "NOT" &&
+		toks[k-2].kind == tokKeyword && toks[k-2].text == "IS"
+}

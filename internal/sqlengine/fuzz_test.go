@@ -17,12 +17,19 @@ import (
 //     filter runs through classic dense index vectors,
 //  3. the scalar row-at-a-time reference (Catalog.QueryScalar),
 //  4. the typed Result API (Catalog.QueryCtx), consumed batch by batch —
-//     covering the lazy zero-copy projection path and the batch cursor.
+//     covering the lazy zero-copy projection path and the batch cursor,
+//  5. the bind-vs-inline check: the query's literals are extracted by
+//     Fingerprint, the template is prepared once, and the extracted
+//     values are re-supplied through Prepared.Exec as bound parameters —
+//     so parameter binding must reproduce the inlined-literal results
+//     row for row through both evaluators.
 //
 // (1) vs (2) isolates the Selection representation: any divergence is a
 // bug in span construction, merging, or span-aware gathering. (1) vs (3)
 // is the end-to-end engine check; (1) vs (4) pins the Result redesign to
-// the materialized reference. The seed corpus below runs as ordinary
+// the materialized reference; (1) vs (5) proves fingerprint extraction
+// and parameter binding are jointly semantics-preserving — the invariant
+// the Query plan cache relies on. The seed corpus below runs as ordinary
 // unit tests under plain `go test`; `go test -fuzz=FuzzDifferentialSQL`
 // explores further.
 
@@ -63,6 +70,46 @@ func diffOneSeed(t *testing.T, seed int64, rows uint16, nqueries uint8) {
 		if dr := dumpResult(res); dv != dr {
 			t.Fatalf("query %q: vectorized vs Result batches mismatch\n-- vectorized --\n%s\n-- result --\n%s", q, dv, dr)
 		}
+		diffBindVsInline(t, c, q, dv)
+	}
+}
+
+// diffBindVsInline is executor #5: extract the query's literals with
+// Fingerprint, prepare the resulting template, re-supply the extracted
+// values as bound parameters, and require row-for-row agreement with the
+// inlined-literal vectorized result (dv). Queries with no extractable
+// literals are vacuously covered by executors 1-4.
+func diffBindVsInline(t *testing.T, c *Catalog, q, dv string) {
+	t.Helper()
+	tmpl, vals, ok := Fingerprint(q)
+	if !ok || len(vals) == 0 {
+		return
+	}
+	stmt, err := c.Prepare(tmpl)
+	if err != nil {
+		t.Fatalf("query %q: fingerprint template %q does not parse: %v", q, tmpl, err)
+	}
+	if stmt.NumParams() != len(vals) {
+		t.Fatalf("query %q: template %q has %d params, %d literals extracted", q, tmpl, stmt.NumParams(), len(vals))
+	}
+	args := make([]any, len(vals))
+	for i, v := range vals {
+		args[i] = v
+	}
+	res, err := stmt.Exec(context.Background(), args...)
+	if err != nil {
+		t.Fatalf("query %q: bound re-execution of %q failed: %v", q, tmpl, err)
+	}
+	if db := dumpResult(res); dv != db {
+		t.Fatalf("query %q: inlined vs bound mismatch (template %q)\n-- inlined --\n%s\n-- bound --\n%s", q, tmpl, dv, db)
+	}
+	// The scalar evaluator must resolve the same binds identically.
+	scaT, err := c.ExecuteScalarBound(stmt.stmt, vals)
+	if err != nil {
+		t.Fatalf("query %q: scalar bound re-execution of %q failed: %v", q, tmpl, err)
+	}
+	if ds := dumpTable(scaT); dv != ds {
+		t.Fatalf("query %q: inlined vs scalar-bound mismatch (template %q)\n-- inlined --\n%s\n-- scalar bound --\n%s", q, tmpl, dv, ds)
 	}
 }
 
@@ -98,6 +145,15 @@ func FuzzDifferentialSQL(f *testing.F) {
 	f.Add(int64(13), uint16(120), uint8(45))
 	f.Add(int64(14), uint16(3), uint8(40))
 	f.Add(int64(15), uint16(680), uint8(45))
+	// Seeds added with parameter binding + fingerprinting: every generated
+	// query with a literal now also runs as template + bound params
+	// (executor #5), so these inputs stress extraction across WHERE
+	// predicates, IN-lists, BETWEEN, residual ON conjuncts, HAVING, and
+	// LIMIT/OFFSET — the zones the fingerprint normalizer rewrites.
+	f.Add(int64(16), uint16(450), uint8(45))
+	f.Add(int64(17), uint16(77), uint8(45))
+	f.Add(int64(18), uint16(640), uint8(45))
+	f.Add(int64(19), uint16(5), uint8(40))
 	f.Fuzz(diffOneSeed)
 }
 
@@ -106,6 +162,46 @@ func FuzzDifferentialSQL(f *testing.F) {
 func TestDifferentialFuzzCorpus(t *testing.T) {
 	for seed := int64(100); seed < 120; seed++ {
 		diffOneSeed(t, seed, uint16(seed*37%650), 24)
+	}
+}
+
+// TestBindVsInlineCorpus pins executor #5 to a deterministic query list:
+// one shape per extraction zone (WHERE comparisons, IN-lists, BETWEEN,
+// LIKE, residual ON conjuncts including cross-side, HAVING, LIMIT and
+// OFFSET), so a regression in any single zone fails with the query
+// spelled out rather than a fuzz seed.
+func TestBindVsInlineCorpus(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	c := randCatalog(rng, 400)
+	queries := []string{
+		"SELECT a, b FROM data WHERE a = 7",
+		"SELECT a, c FROM data WHERE b > -12.5 AND c = 'red'",
+		"SELECT a FROM data WHERE a IN (1, 3, 5) ORDER BY a",
+		"SELECT a FROM data WHERE c IN ('red', 'blue') ORDER BY a, c",
+		"SELECT a, b FROM data WHERE a BETWEEN -4 AND 9 ORDER BY b DESC",
+		"SELECT c FROM data WHERE c LIKE 'gr%' ORDER BY 1",
+		"SELECT a, dim.label FROM data JOIN dim ON data.e = dim.key AND dim.weight > 2.0 ORDER BY a, dim.label",
+		"SELECT a, multi.tag FROM data LEFT JOIN multi ON data.e = multi.mkey AND multi.score > 2.5 AND data.a < multi.score ORDER BY a, multi.tag",
+		"SELECT e, COUNT(*) FROM data GROUP BY e HAVING COUNT(*) > 40 ORDER BY 1",
+		"SELECT c, SUM(a) FROM data WHERE a > 0 GROUP BY c HAVING SUM(a) > 100 ORDER BY 1",
+		"SELECT a FROM data ORDER BY a LIMIT 10",
+		"SELECT a, b FROM data WHERE e < 5 ORDER BY a DESC, b LIMIT 12 OFFSET 6",
+		"SELECT a FROM data WHERE a IS NOT NULL AND a <> 3 ORDER BY a LIMIT 100 OFFSET 395",
+	}
+	for _, q := range queries {
+		tbl, err := c.Query(q)
+		if err != nil {
+			t.Fatalf("query %q: %v", q, err)
+		}
+		tmpl, vals, ok := Fingerprint(q)
+		if !ok {
+			t.Fatalf("query %q: Fingerprint returned ok=false", q)
+		}
+		if len(vals) == 0 {
+			t.Fatalf("query %q: expected extracted literals, got none", q)
+		}
+		diffBindVsInline(t, c, q, dumpTable(tbl))
+		_ = tmpl
 	}
 }
 

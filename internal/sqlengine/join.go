@@ -63,6 +63,10 @@ func (e *pairEnv) resolveAggregate(fn *FuncCall) (table.Value, error) {
 	return table.Null(), errAggInRowContext(fn)
 }
 
+func (e *pairEnv) resolveParam(p *Param) (table.Value, error) {
+	return bindAt(e.left.binds, p)
+}
+
 // splitConjuncts flattens a tree of ANDs into its conjuncts in evaluation
 // order.
 func splitConjuncts(e Expr) []Expr {
@@ -210,7 +214,7 @@ func prunedColumn(col *table.Column, nrows int) bool {
 // aligned — and the per-column gathers of a large join run on the worker
 // pool.
 func joinVRel(ctx context.Context, left, right *vrel, j JoinClause, keep *joinKeepSet) (*vrel, error) {
-	out := &vrel{relSchema: concatSchemas(&left.relSchema, &right.relSchema)}
+	out := &vrel{relSchema: concatSchemas(&left.relSchema, &right.relSchema), binds: left.binds}
 	nl := len(left.cols)
 
 	equiL, equiR, residual := splitJoinOn(&out.relSchema, nl, j.On)
@@ -461,7 +465,7 @@ func residualMask(residual []Expr, left, right *vrel, schema *relSchema, lidx, r
 		if m == 0 {
 			break
 		}
-		rel := &vrel{relSchema: *schema, nrows: m}
+		rel := &vrel{relSchema: *schema, nrows: m, binds: left.binds}
 		rel.cols = make([]table.Column, len(schema.names))
 		for _, ci := range referencedColumns([]Expr{cj}, schema) {
 			if ci < nl {

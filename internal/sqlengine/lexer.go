@@ -15,13 +15,14 @@ const (
 	tokString
 	tokKeyword
 	tokOp    // operators and punctuation
-	tokParam // ? placeholder (reserved; unused by the benchmarks)
+	tokParam // ? or :name bind placeholder
 )
 
 type token struct {
 	kind tokenKind
 	text string // keywords are uppercased; idents keep original case
-	pos  int
+	pos  int    // byte offset of the token's first character
+	end  int    // byte offset one past the token's last character
 }
 
 var keywords = map[string]bool{
@@ -57,9 +58,9 @@ func lex(input string) ([]token, error) {
 			word := input[start:i]
 			upper := strings.ToUpper(word)
 			if keywords[upper] {
-				toks = append(toks, token{tokKeyword, upper, start})
+				toks = append(toks, token{tokKeyword, upper, start, i})
 			} else {
-				toks = append(toks, token{tokIdent, word, start})
+				toks = append(toks, token{tokIdent, word, start, i})
 			}
 		case c >= '0' && c <= '9' || (c == '.' && i+1 < n && input[i+1] >= '0' && input[i+1] <= '9'):
 			start := i
@@ -76,10 +77,10 @@ func lex(input string) ([]token, error) {
 				for i < n && isIdentChar(input[i]) {
 					i++
 				}
-				toks = append(toks, token{tokIdent, input[start:i], start})
+				toks = append(toks, token{tokIdent, input[start:i], start, i})
 				continue
 			}
-			toks = append(toks, token{tokNumber, input[start:i], start})
+			toks = append(toks, token{tokNumber, input[start:i], start, i})
 		case c == '\'' || c == '"':
 			quote := c
 			start := i
@@ -105,9 +106,9 @@ func lex(input string) ([]token, error) {
 			}
 			if quote == '"' {
 				// Double quotes delimit identifiers in standard SQL.
-				toks = append(toks, token{tokIdent, sb.String(), start})
+				toks = append(toks, token{tokIdent, sb.String(), start, i})
 			} else {
-				toks = append(toks, token{tokString, sb.String(), start})
+				toks = append(toks, token{tokString, sb.String(), start, i})
 			}
 		case c == '`': // backtick-quoted identifier
 			start := i
@@ -116,7 +117,7 @@ func lex(input string) ([]token, error) {
 			if j < 0 {
 				return nil, fmt.Errorf("sql: unterminated identifier at offset %d", start)
 			}
-			toks = append(toks, token{tokIdent, input[i : i+j], start})
+			toks = append(toks, token{tokIdent, input[i : i+j], start, i + j + 1})
 			i += j + 1
 		default:
 			start := i
@@ -127,23 +128,33 @@ func lex(input string) ([]token, error) {
 			}
 			switch two {
 			case "<=", ">=", "<>", "!=", "||":
-				toks = append(toks, token{tokOp, two, start})
+				toks = append(toks, token{tokOp, two, start, start + 2})
 				i += 2
 				continue
 			}
 			switch c {
 			case '=', '<', '>', '+', '-', '*', '/', '%', '(', ')', ',', '.', ';':
-				toks = append(toks, token{tokOp, string(c), start})
+				toks = append(toks, token{tokOp, string(c), start, start + 1})
 				i++
 			case '?':
-				toks = append(toks, token{tokParam, "?", start})
+				toks = append(toks, token{tokParam, "?", start, start + 1})
 				i++
+			case ':': // :name named bind placeholder
+				i++
+				nameStart := i
+				for i < n && isIdentChar(input[i]) {
+					i++
+				}
+				if i == nameStart {
+					return nil, fmt.Errorf("sql: expected parameter name after ':' at offset %d", start)
+				}
+				toks = append(toks, token{tokParam, input[start:i], start, i})
 			default:
 				return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, i)
 			}
 		}
 	}
-	toks = append(toks, token{tokEOF, "", n})
+	toks = append(toks, token{tokEOF, "", n, n})
 	return toks, nil
 }
 

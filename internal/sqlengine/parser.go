@@ -43,6 +43,30 @@ func Parse(sql string) (*SelectStmt, error) {
 type parser struct {
 	toks []token
 	pos  int
+
+	params []string       // binding slot names in slot order ("" = positional)
+	named  map[string]int // :name -> slot, so repeated names share a slot
+}
+
+// paramRef allocates (or, for a repeated :name, reuses) the binding slot
+// for a placeholder token.
+func (p *parser) paramRef(t token) *Param {
+	if strings.HasPrefix(t.text, ":") {
+		name := t.text[1:]
+		if i, ok := p.named[name]; ok {
+			return &Param{Index: i, Name: name}
+		}
+		if p.named == nil {
+			p.named = map[string]int{}
+		}
+		idx := len(p.params)
+		p.named[name] = idx
+		p.params = append(p.params, name)
+		return &Param{Index: idx, Name: name}
+	}
+	idx := len(p.params)
+	p.params = append(p.params, "")
+	return &Param{Index: idx}
 }
 
 func (p *parser) peek() token { return p.toks[p.pos] }
@@ -208,41 +232,70 @@ afterJoins:
 		}
 	}
 	if p.acceptKeyword("LIMIT") {
-		n, err := p.parseIntLiteral()
+		n1, p1, err := p.parseLimitTerm()
 		if err != nil {
 			return nil, err
 		}
-		stmt.Limit = n
 		if p.acceptOp(",") { // LIMIT offset, count (MySQL form)
-			cnt, err := p.parseIntLiteral()
+			n2, p2, err := p.parseLimitTerm()
 			if err != nil {
 				return nil, err
 			}
-			stmt.Offset = stmt.Limit
-			stmt.Limit = cnt
+			stmt.Offset, stmt.OffsetParam = n1, p1
+			stmt.Limit, stmt.LimitParam = n2, p2
+		} else {
+			stmt.Limit, stmt.LimitParam = n1, p1
+		}
+		if stmt.LimitParam != nil {
+			stmt.Limit = -1 // resolved from the bindings at execute time
 		}
 	}
 	if p.acceptKeyword("OFFSET") {
-		n, err := p.parseIntLiteral()
+		n, prm, err := p.parseLimitTerm()
 		if err != nil {
 			return nil, err
 		}
-		stmt.Offset = n
+		stmt.Offset, stmt.OffsetParam = n, prm
 	}
+	stmt.Params = p.params
 	return stmt, nil
 }
 
-func (p *parser) parseIntLiteral() (int, error) {
+// parseLimitTerm parses a LIMIT/OFFSET operand: a non-negative integer
+// literal, or a placeholder resolved at execute time.
+func (p *parser) parseLimitTerm() (int, *Param, error) {
 	t := p.peek()
+	if t.kind == tokParam {
+		p.next()
+		return 0, p.paramRef(t), nil
+	}
 	if t.kind != tokNumber {
-		return 0, fmt.Errorf("sql: expected number, found %q", t.text)
+		return 0, nil, fmt.Errorf("sql: expected number, found %q", t.text)
 	}
 	p.next()
 	n, err := strconv.Atoi(t.text)
 	if err != nil {
-		return 0, fmt.Errorf("sql: bad integer %q", t.text)
+		return 0, nil, fmt.Errorf("sql: bad integer %q", t.text)
 	}
-	return n, nil
+	return n, nil, nil
+}
+
+// literalFromNumber converts a number token's text to its literal value.
+// It is shared by the parser and the fingerprint normalizer so extracted
+// parameters carry exactly the value inline parsing would have produced.
+func literalFromNumber(text string) (table.Value, error) {
+	if strings.Contains(text, ".") {
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return table.Null(), fmt.Errorf("sql: bad number %q", text)
+		}
+		return table.Float(f), nil
+	}
+	i, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		return table.Null(), fmt.Errorf("sql: bad number %q", text)
+	}
+	return table.Int(i), nil
 }
 
 func (p *parser) parseSelectItem() (SelectItem, error) {
@@ -504,18 +557,14 @@ func (p *parser) parsePrimary() (Expr, error) {
 	switch t.kind {
 	case tokNumber:
 		p.next()
-		if strings.Contains(t.text, ".") {
-			f, err := strconv.ParseFloat(t.text, 64)
-			if err != nil {
-				return nil, fmt.Errorf("sql: bad number %q", t.text)
-			}
-			return &Literal{Value: table.Float(f)}, nil
-		}
-		i, err := strconv.ParseInt(t.text, 10, 64)
+		v, err := literalFromNumber(t.text)
 		if err != nil {
-			return nil, fmt.Errorf("sql: bad number %q", t.text)
+			return nil, err
 		}
-		return &Literal{Value: table.Int(i)}, nil
+		return &Literal{Value: v}, nil
+	case tokParam:
+		p.next()
+		return p.paramRef(t), nil
 	case tokString:
 		p.next()
 		return &Literal{Value: table.Str(t.text)}, nil

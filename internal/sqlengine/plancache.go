@@ -4,15 +4,19 @@ import (
 	"container/list"
 	"context"
 	"sync"
+	"sync/atomic"
+
+	"datalab/internal/table"
 )
 
-// DefaultPlanCacheSize is the number of distinct SQL texts a catalog's LRU
-// plan cache retains. Parsed statements are immutable during execution, so
-// one cached *SelectStmt is shared by every concurrent executor of the
-// same SQL.
+// DefaultPlanCacheSize is the number of distinct plan-cache keys a catalog
+// retains. Keys are parameter templates for fingerprinted Query/QueryCtx
+// texts and exact SQL texts otherwise. Parsed statements are immutable
+// during execution, so one cached *SelectStmt is shared by every
+// concurrent executor of the same template.
 const DefaultPlanCacheSize = 256
 
-// planCache is a mutex-guarded LRU from SQL text to parsed statement.
+// planCache is a mutex-guarded LRU from plan key to parsed statement.
 // Parse errors are not cached: failing texts are rare, unbounded in
 // variety, and re-parsing them keeps error messages exact.
 type planCache struct {
@@ -21,6 +25,8 @@ type planCache struct {
 	ll           *list.List // front = most recently used
 	bySQL        map[string]*list.Element
 	hits, misses int64
+	evictions    int64
+	fingerprints atomic.Int64 // Query texts normalized to a template
 }
 
 type planEntry struct {
@@ -56,13 +62,41 @@ func (pc *planCache) put(sql string, stmt *SelectStmt) {
 		oldest := pc.ll.Back()
 		pc.ll.Remove(oldest)
 		delete(pc.bySQL, oldest.Value.(*planEntry).sql)
+		pc.evictions++
 	}
 }
 
-func (pc *planCache) stats() (hits, misses int64, size int) {
+// PlanCacheStats is a point-in-time snapshot of a catalog's plan-cache
+// counters, for metrics and tests.
+type PlanCacheStats struct {
+	Hits         int64 // lookups answered from the cache
+	Misses       int64 // lookups that fell through to the parser
+	Evictions    int64 // LRU entries dropped after the cache filled
+	Fingerprints int64 // Query/QueryCtx texts normalized to a parameter template
+	Size         int   // current entry count
+	Cap          int   // maximum entry count
+}
+
+// HitRate returns Hits/(Hits+Misses), or 0 before any lookup.
+func (s PlanCacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+func (pc *planCache) statsSnapshot() PlanCacheStats {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
-	return pc.hits, pc.misses, pc.ll.Len()
+	return PlanCacheStats{
+		Hits:         pc.hits,
+		Misses:       pc.misses,
+		Evictions:    pc.evictions,
+		Fingerprints: pc.fingerprints.Load(),
+		Size:         pc.ll.Len(),
+		Cap:          pc.cap,
+	}
 }
 
 // plan returns the parsed statement for sql, consulting the LRU plan cache
@@ -80,15 +114,48 @@ func (c *Catalog) plan(sql string) (*SelectStmt, error) {
 	return stmt, nil
 }
 
-// PlanCacheStats reports the catalog's plan-cache hit/miss counters and
-// current entry count, for metrics and tests.
-func (c *Catalog) PlanCacheStats() (hits, misses int64, size int) {
-	return c.plans.stats()
+// planQuery is the Query/QueryCtx planning front end: the text is
+// fingerprinted to a parameter template (see Fingerprint) so literal-
+// varying traffic shares one cache entry, and the extracted values come
+// back as the execution's bindings. Texts that carry placeholders already,
+// fail to normalize, or extract nothing plan by exact text with no
+// bindings.
+func (c *Catalog) planQuery(sql string) (*SelectStmt, []table.Value, error) {
+	tmpl, vals, ok := Fingerprint(sql)
+	if ok && len(vals) > 0 {
+		c.plans.fingerprints.Add(1)
+		if stmt, hit := c.plans.get(tmpl); hit {
+			if stmt.NumParams() == len(vals) {
+				return stmt, vals, nil
+			}
+		} else if stmt, err := Parse(tmpl); err == nil && stmt.NumParams() == len(vals) {
+			c.plans.put(tmpl, stmt)
+			return stmt, vals, nil
+		}
+		// The template disagrees with the extraction: a literal sat in a
+		// position the grammar does not parameterize (e.g. a string
+		// select-item alias). Plan the raw text instead — semantics and
+		// error messages stay exact.
+	}
+	stmt, err := c.plan(sql)
+	return stmt, nil, err
+}
+
+// PlanCacheStats reports the catalog's plan-cache counters and current
+// entry count.
+func (c *Catalog) PlanCacheStats() PlanCacheStats {
+	return c.plans.statsSnapshot()
 }
 
 // Prepared is a statement parsed (and plan-cached) once and executable many
 // times: the prepared-statement handle behind Platform.Prepare. It is
 // immutable and safe for concurrent Exec from many goroutines.
+//
+// Statements may declare placeholders (? positional, :name named) wherever
+// a literal is legal, including LIMIT/OFFSET; Exec binds args to them in
+// slot order on every call. Hot loops that format literals into the SQL
+// text re-parse on every iteration — prepare a placeholder template once
+// and bind instead.
 type Prepared struct {
 	cat  *Catalog
 	sql  string
@@ -108,9 +175,22 @@ func (c *Catalog) Prepare(sql string) (*Prepared, error) {
 // SQL returns the statement text the handle was prepared from.
 func (p *Prepared) SQL() string { return p.sql }
 
+// NumParams reports the number of binding slots the statement declares.
+func (p *Prepared) NumParams() int { return p.stmt.NumParams() }
+
+// ParamNames returns the statement's slot names in slot order; positional
+// slots are "".
+func (p *Prepared) ParamNames() []string { return p.stmt.ParamNames() }
+
 // Exec executes the prepared statement, honoring ctx cancellation, and
-// returns a typed Result. Each call re-executes against the catalog's
-// current table registrations (names bind at execute, not at prepare).
-func (p *Prepared) Exec(ctx context.Context) (*Result, error) {
-	return p.cat.ExecuteResult(ctx, p.stmt)
+// returns a typed Result. args bind the statement's placeholders in slot
+// order (none for a statement without placeholders) and are validated
+// before execution. Each call re-executes against the catalog's current
+// table registrations (names bind at execute, not at prepare).
+func (p *Prepared) Exec(ctx context.Context, args ...any) (*Result, error) {
+	binds, err := bindArgs(p.stmt, args)
+	if err != nil {
+		return nil, err
+	}
+	return p.cat.executeResultBound(ctx, p.stmt, binds)
 }

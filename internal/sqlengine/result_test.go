@@ -227,7 +227,8 @@ func TestBatchAccessors(t *testing.T) {
 	}
 }
 
-// TestPlanCacheLRU checks hit/miss accounting and capacity eviction.
+// TestPlanCacheLRU checks hit/miss accounting, fingerprint collapsing,
+// and capacity eviction.
 func TestPlanCacheLRU(t *testing.T) {
 	c := resultCatalog(10)
 	q := "SELECT id FROM facts"
@@ -236,24 +237,50 @@ func TestPlanCacheLRU(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	hits, misses, size := c.PlanCacheStats()
-	if hits != 4 || misses != 1 || size != 1 {
-		t.Fatalf("stats after 5 repeats = %d hits, %d misses, %d entries", hits, misses, size)
+	st := c.PlanCacheStats()
+	if st.Hits != 4 || st.Misses != 1 || st.Size != 1 {
+		t.Fatalf("stats after 5 repeats = %d hits, %d misses, %d entries", st.Hits, st.Misses, st.Size)
 	}
-	// Distinct texts beyond capacity evict the oldest.
-	for i := 0; i < DefaultPlanCacheSize+10; i++ {
+	// Literal-varying texts fingerprint to one template: a single new
+	// entry no matter how many distinct texts arrive.
+	for i := 0; i < 50; i++ {
 		if _, err := c.Query(fmt.Sprintf("SELECT id FROM facts WHERE id = %d", i)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, _, size := c.PlanCacheStats(); size != DefaultPlanCacheSize {
-		t.Fatalf("cache size = %d, want cap %d", size, DefaultPlanCacheSize)
+	st = c.PlanCacheStats()
+	if st.Size != 2 {
+		t.Fatalf("50 literal variants grew the cache to %d entries, want 2", st.Size)
+	}
+	if st.Hits != 4+49 || st.Misses != 2 {
+		t.Fatalf("stats after literal variants = %d hits, %d misses", st.Hits, st.Misses)
+	}
+	if st.Fingerprints != 50 {
+		t.Fatalf("fingerprinted lookups = %d, want 50", st.Fingerprints)
+	}
+	// Structurally distinct texts beyond capacity evict the oldest.
+	// Distinct column aliases defeat fingerprint collapsing (the select
+	// list is never rewritten), so each text is its own template.
+	for i := 0; i < DefaultPlanCacheSize+10; i++ {
+		if _, err := c.Query(fmt.Sprintf("SELECT id AS c%d FROM facts", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st = c.PlanCacheStats()
+	if st.Size != DefaultPlanCacheSize {
+		t.Fatalf("cache size = %d, want cap %d", st.Size, DefaultPlanCacheSize)
+	}
+	if st.Cap != DefaultPlanCacheSize {
+		t.Fatalf("cache cap = %d, want %d", st.Cap, DefaultPlanCacheSize)
+	}
+	if st.Evictions < 10 {
+		t.Fatalf("evictions = %d, want >= 10", st.Evictions)
 	}
 	// Parse errors are not cached.
 	if _, err := c.Query("SELECT FROM"); err == nil {
 		t.Fatal("bad SQL accepted")
 	}
-	if _, _, size := c.PlanCacheStats(); size != DefaultPlanCacheSize {
+	if st := c.PlanCacheStats(); st.Size != DefaultPlanCacheSize {
 		t.Fatal("parse error was cached")
 	}
 }

@@ -17,10 +17,12 @@ import (
 // repo root's bench_test.go.
 
 // srel is the scalar executor's working representation: shared column
-// metadata plus row-major values.
+// metadata plus row-major values. binds carries the execution's parameter
+// bindings (nil without placeholders).
 type srel struct {
 	relSchema
-	rows [][]table.Value
+	rows  [][]table.Value
+	binds []table.Value
 }
 
 func srelFrom(t *table.Table, qual string) *srel {
@@ -51,6 +53,10 @@ func (e *rowEnv) resolveAggregate(fn *FuncCall) (table.Value, error) {
 	return table.Null(), errAggInRowContext(fn)
 }
 
+func (e *rowEnv) resolveParam(p *Param) (table.Value, error) {
+	return bindAt(e.rel.binds, p)
+}
+
 // groupEnv evaluates expressions against one group: plain columns resolve
 // from the group's first row, aggregates compute over all group rows.
 type groupEnv struct {
@@ -67,6 +73,10 @@ func (e *groupEnv) resolveColumn(ref *ColumnRef) (table.Value, error) {
 		return table.Null(), nil
 	}
 	return e.rel.rows[e.rows[0]][i], nil
+}
+
+func (e *groupEnv) resolveParam(p *Param) (table.Value, error) {
+	return bindAt(e.rel.binds, p)
 }
 
 func (e *groupEnv) resolveAggregate(fn *FuncCall) (table.Value, error) {
@@ -181,8 +191,19 @@ func (c *Catalog) QueryScalar(sql string) (*table.Table, error) {
 }
 
 // ExecuteScalar runs a parsed statement with the row-at-a-time reference
-// path.
+// path. Statements with placeholders must execute through
+// ExecuteScalarBound; here they fail with an unbound-parameter error.
 func (c *Catalog) ExecuteScalar(stmt *SelectStmt) (*table.Table, error) {
+	return c.ExecuteScalarBound(stmt, nil)
+}
+
+// ExecuteScalarBound is ExecuteScalar with the execution's parameter
+// bindings — the scalar half of the bind-vs-inline differential harness.
+func (c *Catalog) ExecuteScalarBound(stmt *SelectStmt, binds []table.Value) (*table.Table, error) {
+	stmt, err := resolveBinds(stmt, binds)
+	if err != nil {
+		return nil, err
+	}
 	base, ok := c.Table(stmt.From)
 	if !ok {
 		return nil, fmt.Errorf("sql: unknown table %q", stmt.From)
@@ -192,6 +213,7 @@ func (c *Catalog) ExecuteScalar(stmt *SelectStmt) (*table.Table, error) {
 		qual = stmt.FromAs
 	}
 	rel := srelFrom(base, qual)
+	rel.binds = binds
 
 	for _, j := range stmt.Joins {
 		rt, ok := c.Table(j.Table)
@@ -225,7 +247,6 @@ func (c *Catalog) ExecuteScalar(stmt *SelectStmt) (*table.Table, error) {
 
 	grouped := len(stmt.GroupBy) > 0 || stmt.Having != nil || selectHasAggregate(stmt)
 	var out *table.Table
-	var err error
 	if grouped {
 		out, err = executeGroupedScalar(stmt, rel)
 	} else {
@@ -244,7 +265,7 @@ func (c *Catalog) ExecuteScalar(stmt *SelectStmt) (*table.Table, error) {
 // matching the vectorized pipeline's probe order exactly (the differential
 // harness compares results row for row).
 func joinRelationsScalar(left, right *srel, j JoinClause) (*srel, error) {
-	out := &srel{relSchema: concatSchemas(&left.relSchema, &right.relSchema)}
+	out := &srel{relSchema: concatSchemas(&left.relSchema, &right.relSchema), binds: left.binds}
 	nullsLeft := make([]table.Value, len(left.names))
 	nullsRight := make([]table.Value, len(right.names))
 	match := func(lrow, rrow []table.Value) (bool, []table.Value, error) {

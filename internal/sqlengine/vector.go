@@ -34,6 +34,12 @@ func evalVec(e Expr, rel *vrel, sel *table.Selection) (table.Column, error) {
 	switch x := e.(type) {
 	case *Literal:
 		return constColumn(x.Value, n), nil
+	case *Param:
+		v, err := bindAt(rel.binds, x)
+		if err != nil {
+			return table.Column{}, err
+		}
+		return constColumn(v, n), nil
 	case *ColumnRef:
 		i := rel.findColumn(x)
 		if i < 0 {
@@ -115,6 +121,27 @@ func (e *vecRowEnv) resolveColumn(ref *ColumnRef) (table.Value, error) {
 
 func (e *vecRowEnv) resolveAggregate(fn *FuncCall) (table.Value, error) {
 	return table.Null(), errAggInRowContext(fn)
+}
+
+func (e *vecRowEnv) resolveParam(p *Param) (table.Value, error) {
+	return bindAt(e.rel.binds, p)
+}
+
+// constExprValue resolves e to an execution-constant value when it is a
+// literal or a bound parameter, letting the vectorized LIKE/BETWEEN/IN
+// fast paths accept placeholders without falling back to per-row loops.
+func constExprValue(e Expr, rel *vrel) (table.Value, bool) {
+	switch x := e.(type) {
+	case *Literal:
+		return x.Value, true
+	case *Param:
+		v, err := bindAt(rel.binds, x)
+		if err != nil {
+			return table.Null(), false // fall back; the row path reports the error
+		}
+		return v, true
+	}
+	return table.Null(), false
 }
 
 // constColumn materializes a literal as a constant vector.
@@ -456,8 +483,8 @@ func evalVecArith(b *Binary, rel *vrel, sel *table.Selection) (table.Column, err
 }
 
 func evalVecLike(b *Binary, rel *vrel, sel *table.Selection) (table.Column, error) {
-	lit, ok := b.R.(*Literal)
-	if !ok || lit.Value.Kind != table.KindString {
+	pv, ok := constExprValue(b.R, rel)
+	if !ok || pv.Kind != table.KindString {
 		return rowFallback(b, rel, sel)
 	}
 	lcol, err := evalVec(b.L, rel, sel)
@@ -468,7 +495,7 @@ func evalVecLike(b *Binary, rel *vrel, sel *table.Selection) (table.Column, erro
 	if !ok {
 		return rowFallback(b, rel, sel)
 	}
-	pattern := strings.ToLower(lit.Value.S)
+	pattern := strings.ToLower(pv.S)
 	n := selLen(rel, sel)
 	out := make([]bool, n)
 	nulls := make([]bool, n)
@@ -510,16 +537,17 @@ func evalVecConcat(b *Binary, rel *vrel, sel *table.Selection) (table.Column, er
 }
 
 // evalVecBetween vectorizes X BETWEEN lo AND hi for numeric X with non-NULL
-// numeric literal bounds. ok=false means the caller should fall back.
+// numeric constant bounds (literals or bound parameters). ok=false means
+// the caller should fall back.
 func evalVecBetween(x *Between, rel *vrel, sel *table.Selection) (table.Column, bool, error) {
-	loLit, ok1 := x.Lo.(*Literal)
-	hiLit, ok2 := x.Hi.(*Literal)
+	loV, ok1 := constExprValue(x.Lo, rel)
+	hiV, ok2 := constExprValue(x.Hi, rel)
 	if !ok1 || !ok2 {
 		return table.Column{}, false, nil
 	}
-	lo, lok := loLit.Value.AsFloat()
-	hi, hok := hiLit.Value.AsFloat()
-	if !lok || !hok || !isNumericLit(loLit.Value) || !isNumericLit(hiLit.Value) {
+	lo, lok := loV.AsFloat()
+	hi, hok := hiV.AsFloat()
+	if !lok || !hok || !isNumericLit(loV) || !isNumericLit(hiV) {
 		return table.Column{}, false, nil
 	}
 	col, err := evalVec(x.X, rel, sel)
@@ -548,21 +576,22 @@ func isNumericLit(v table.Value) bool {
 	return v.Kind == table.KindInt || v.Kind == table.KindFloat
 }
 
-// evalVecIn vectorizes X IN (literals...) when X is typed numeric with an
-// all-numeric list, or typed string with an all-string list. Mixed-kind
-// membership (which compares through table.Equal's lenient rules) falls
-// back. NULL list entries are ignored, matching the scalar evaluator.
+// evalVecIn vectorizes X IN (constants...) — literals or bound parameters —
+// when X is typed numeric with an all-numeric list, or typed string with an
+// all-string list. Mixed-kind membership (which compares through
+// table.Equal's lenient rules) falls back. NULL list entries are ignored,
+// matching the scalar evaluator.
 func evalVecIn(x *In, rel *vrel, sel *table.Selection) (table.Column, bool, error) {
 	lits := make([]table.Value, 0, len(x.Values))
 	for _, cand := range x.Values {
-		lit, ok := cand.(*Literal)
+		v, ok := constExprValue(cand, rel)
 		if !ok {
 			return table.Column{}, false, nil
 		}
-		if lit.Value.IsNull() {
+		if v.IsNull() {
 			continue
 		}
-		lits = append(lits, lit.Value)
+		lits = append(lits, v)
 	}
 	col, err := evalVec(x.X, rel, sel)
 	if err != nil {

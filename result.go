@@ -39,4 +39,29 @@ type Batch = sqlengine.Batch
 // Stmt is a prepared statement: parsed and planned once by
 // Platform.Prepare, executed many times with Exec. Exec never re-parses,
 // so repeated execution amortizes parse/plan cost to zero.
+//
+// Statements may declare placeholders — positional `?` or named `:name` —
+// anywhere a literal is legal (WHERE, join ON residuals, HAVING, IN lists,
+// LIMIT/OFFSET), resolved per execution by Exec(ctx, args...) or
+// Bind/BindNamed:
+//
+//	stmt, _ := p.Prepare("SELECT region, SUM(amount) FROM sales WHERE amount > ? GROUP BY region")
+//	for _, threshold := range thresholds {
+//		res, _ := stmt.Exec(ctx, threshold)
+//		...
+//	}
+//
+// Hot loops that fmt.Sprintf literals into the SQL text instead should
+// migrate to placeholders: the inlined form re-lexes every iteration (the
+// fingerprint cache saves the parse, not the scan of the text), while a
+// bound execution touches the cached plan directly.
 type Stmt = sqlengine.Prepared
+
+// Bound is a prepared statement with arguments attached (Stmt.Bind /
+// Stmt.BindNamed). It is immutable, safe for concurrent Exec, and reusable.
+type Bound = sqlengine.Bound
+
+// PlanCacheStats is a snapshot of the catalog's plan-cache counters:
+// hits, misses, evictions, fingerprinted lookups, and current size/cap.
+// Obtain one with Platform.PlanCacheStats.
+type PlanCacheStats = sqlengine.PlanCacheStats
