@@ -19,8 +19,9 @@ import (
 func main() {
 	scale := flag.Float64("scale", 1.0, "fraction of full workload sizes (0,1]")
 	seed := flag.String("seed", "datalab-v1", "experiment seed")
-	only := flag.String("only", "", "run a single experiment: table1|figure6|knowgen|table2|table3|figure7|table4|engine|plancache")
+	only := flag.String("only", "", "run a single experiment: table1|figure6|knowgen|table2|table3|figure7|table4|engine|plancache|ingest")
 	plancacheOut := flag.String("plancache-out", "BENCH_plancache.json", "output path for the plan-cache workload snapshot")
+	ingestOut := flag.String("ingest-out", "BENCH_ingest.json", "output path for the streaming-ingest workload snapshot")
 	flag.Parse()
 
 	run := func(name string) bool { return *only == "" || *only == name }
@@ -105,6 +106,14 @@ func main() {
 		fmt.Println("== Plan cache: fingerprint + bound-parameter workloads ==")
 		if err := planCacheBench(int(100_000**scale), *plancacheOut); err != nil {
 			fmt.Fprintln(os.Stderr, "plancache:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+	if run("ingest") {
+		fmt.Println("== Streaming ingest: append/publish + query-during-ingest workloads ==")
+		if err := ingestBench(int(500_000**scale), *ingestOut); err != nil {
+			fmt.Fprintln(os.Stderr, "ingest:", err)
 			os.Exit(1)
 		}
 	}
@@ -295,5 +304,143 @@ func planCacheBench(rows int, outPath string) error {
 	if hr := snaps[0].HitRate; hr < 0.99 {
 		return fmt.Errorf("plan-cache hit rate %.4f below the 0.99 floor on the template workload", hr)
 	}
+	return nil
+}
+
+// ingestSnapshot is the BENCH_ingest.json schema: one record per workload,
+// capturing append throughput and reader latency under live ingest.
+type ingestSnapshot struct {
+	Workload  string  `json:"workload"`
+	Rows      int     `json:"rows"`
+	Queries   int     `json:"queries"`
+	NsPerOp   float64 `json:"ns_per_op"`
+	Snapshots uint64  `json:"snapshots_published"`
+	Chunks    int     `json:"chunks"`
+}
+
+// countSum runs `SELECT COUNT(*), SUM(v) FROM stream` and returns both.
+func countSum(cat *sqlengine.Catalog) (int64, float64, error) {
+	res, err := cat.QueryCtx(context.Background(), "SELECT COUNT(*), SUM(v) FROM stream")
+	if err != nil {
+		return 0, 0, err
+	}
+	b := res.Next()
+	if b == nil || b.NumRows() == 0 {
+		return 0, 0, fmt.Errorf("empty aggregate result")
+	}
+	cnt, _ := b.Int64(0, 0)
+	sum, _ := b.Float64(1, 0)
+	return cnt, sum, nil
+}
+
+// ingestBench drives the streaming-ingest substrate: the append/publish
+// writer hot path, then reader queries racing a live background ingester.
+// Every observed result must be internally consistent with exactly one
+// published snapshot (counts land on batch boundaries, sums match the
+// closed form), so the bench doubles as a correctness check. It writes
+// BENCH_ingest.json.
+func ingestBench(rows int, outPath string) error {
+	if rows < 10_000 {
+		rows = 10_000
+	}
+	const batch = 1024
+	cat := sqlengine.NewCatalog()
+	cat.Register(table.MustNew("stream",
+		[]string{"v", "p"}, []table.Kind{table.KindInt, table.KindInt}))
+	app, _ := cat.Appender("stream")
+
+	// Workload 1: the writer hot path — stage rows, publish per batch.
+	start := time.Now()
+	for i := 0; i < rows; i++ {
+		if err := app.Append([]table.Value{table.Int(int64(i)), table.Int(int64(i & 1))}); err != nil {
+			return err
+		}
+		if i%batch == batch-1 {
+			app.Publish()
+		}
+	}
+	snap := app.Publish()
+	elapsed := time.Since(start)
+	cnt, sum, err := countSum(cat)
+	if err != nil {
+		return err
+	}
+	if cnt != int64(rows) || sum != float64(rows)*float64(rows-1)/2 {
+		return fmt.Errorf("post-ingest aggregate mismatch: count=%d sum=%.0f for %d rows", cnt, sum, rows)
+	}
+	snaps := []ingestSnapshot{{
+		Workload:  "append_publish",
+		Rows:      rows,
+		NsPerOp:   float64(elapsed.Nanoseconds()) / float64(rows),
+		Snapshots: snap.Version(),
+		Chunks:    snap.NumChunks(),
+	}}
+	fmt.Printf("append+publish:  %d rows -> %d chunks across %d snapshots  (%v/row)\n",
+		rows, snap.NumChunks(), snap.Version(), elapsed/time.Duration(rows))
+
+	// Workload 2: readers racing a live ingester. The single writer only
+	// publishes at batch boundaries past the phase-1 baseline, so every
+	// consistent snapshot has a row count of baseline + k*batch and a sum
+	// matching the closed form — anything else means a reader saw a blend.
+	queries := rows / 100
+	if queries < 100 {
+		queries = 100
+	}
+	// The ingester streams one more `rows` worth of data (in batch-sized
+	// publishes) and stops — bounding the table at 2x so reader latency
+	// stays comparable across the run — or earlier if the readers finish.
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := rows; i < 2*rows; {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for k := 0; k < batch; k++ {
+				_ = app.Append([]table.Value{table.Int(int64(i)), table.Int(int64(i & 1))})
+				i++
+			}
+			app.Publish()
+		}
+	}()
+	start = time.Now()
+	for q := 0; q < queries; q++ {
+		cnt, sum, err := countSum(cat)
+		if err != nil {
+			return err
+		}
+		if cnt < int64(rows) || (cnt-int64(rows))%batch != 0 {
+			return fmt.Errorf("query %d observed a torn snapshot: count=%d not baseline+k*%d", q, cnt, batch)
+		}
+		if want := float64(cnt) * float64(cnt-1) / 2; sum != want {
+			return fmt.Errorf("query %d observed an inconsistent snapshot: count=%d sum=%.0f want %.0f", q, cnt, sum, want)
+		}
+	}
+	elapsed = time.Since(start)
+	close(stop)
+	<-done
+	final := app.Snapshot()
+	snaps = append(snaps, ingestSnapshot{
+		Workload:  "query_during_ingest",
+		Rows:      final.NumRows() - rows,
+		Queries:   queries,
+		NsPerOp:   float64(elapsed.Nanoseconds()) / float64(queries),
+		Snapshots: final.Version(),
+		Chunks:    final.NumChunks(),
+	})
+	fmt.Printf("query+ingest:    %d consistent reads while %d rows streamed in  (%v/query)\n",
+		queries, final.NumRows()-rows, elapsed/time.Duration(queries))
+
+	data, err := json.MarshalIndent(snaps, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("snapshot:        %s\n", outPath)
 	return nil
 }

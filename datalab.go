@@ -127,6 +127,64 @@ func (p *Platform) LoadRecords(name string, columns []string, rows [][]string) e
 	return nil
 }
 
+// AppendRecords appends string records to an already-registered table and
+// publishes one new snapshot covering all of them. Cells are type-inferred
+// and then coerced to the table's column kinds. Queries already running
+// keep reading the snapshot they started on; queries issued after
+// AppendRecords returns see every appended row.
+func (p *Platform) AppendRecords(name string, rows [][]string) error {
+	in, err := p.Ingest(name)
+	if err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if err := in.Append(row...); err != nil {
+			return err
+		}
+	}
+	in.Publish()
+	return nil
+}
+
+// Ingestor is a streaming append handle for one registered table. Appended
+// rows are batched into a pending chunk that no query can observe until
+// Publish atomically swaps in a snapshot that includes them — so a burst
+// of appends becomes one visible version, not many. An Ingestor is safe
+// for concurrent use with queries; concurrent Appends on the same table
+// serialize on the table's appender.
+type Ingestor struct {
+	app *table.Appender
+}
+
+// Ingest returns a streaming append handle for a registered table.
+func (p *Platform) Ingest(name string) (*Ingestor, error) {
+	app, ok := p.catalog.Appender(name)
+	if !ok {
+		return nil, fmt.Errorf("datalab: unknown table %q", name)
+	}
+	return &Ingestor{app: app}, nil
+}
+
+// Append stages one row from string cells; types are inferred per cell and
+// coerced to the table's schema. The row is invisible until Publish.
+func (in *Ingestor) Append(cells ...string) error {
+	vals := make([]table.Value, len(in.app.Kinds()))
+	for c := range vals {
+		if c < len(cells) {
+			vals[c] = table.Infer(cells[c])
+		}
+	}
+	return in.app.Append(vals)
+}
+
+// Pending reports how many staged rows await Publish.
+func (in *Ingestor) Pending() int { return in.app.Pending() }
+
+// Publish seals the staged rows into a new immutable chunk and atomically
+// publishes the snapshot that includes them, returning the total row count
+// now visible to new queries.
+func (in *Ingestor) Publish() int { return in.app.Publish().NumRows() }
+
 // Tables lists registered table names.
 func (p *Platform) Tables() []string { return p.catalog.TableNames() }
 

@@ -3,6 +3,18 @@
 // full-text role in the paper) and a vector index over deterministic
 // embeddings (the StarRocks embedding-search role). Both index the same
 // triplet structure {name, content, tag} from §IV-B.
+//
+// Both indexes are layered persistent structures, mirroring the chunked
+// snapshot storage in internal/table: documents live in immutable sealed
+// layers plus one private mutable tail. Clone seals the tail and shares
+// the sealed layers — O(layers), not O(index) — so the knowledge graph's
+// copy-on-write snapshot swap costs per-update work proportional to the
+// update, not the graph. Search computes corpus-global statistics (doc
+// count, document frequency) across layers with newest-definition-wins
+// resolution, so scores are bit-identical to a monolithic rebuild of the
+// same live documents. Layers are folded back into one when a clone
+// accumulates more than maxLayers of them, amortizing compaction across
+// the clones that created the layers.
 package index
 
 import (
@@ -13,6 +25,12 @@ import (
 	"datalab/internal/embed"
 	"datalab/internal/textutil"
 )
+
+// maxLayers bounds how many sealed layers a clone may carry before it is
+// compacted into a single layer. Reads walk layers newest-first, so the
+// bound keeps lookup and scoring O(1)-ish in the number of snapshots
+// taken, while compaction cost is paid once per maxLayers clones.
+const maxLayers = 8
 
 // Entry is one indexed document: the triplet the paper's task-aware
 // indexing mechanism stores per knowledge node.
@@ -29,33 +47,29 @@ type Hit struct {
 	Score float64
 }
 
-// Lexical is an inverted index with TF-IDF ranking.
-type Lexical struct {
-	mu       sync.RWMutex
+// lexLayer is one immutable (once sealed) stratum of the lexical index.
+// dead tombstones IDs removed relative to older layers; a layer never
+// both defines and tombstones the same ID.
+type lexLayer struct {
 	postings map[string]map[string]int // token -> docID -> term frequency
 	docLen   map[string]int
 	entries  map[string]Entry
+	dead     map[string]bool
 }
 
-// NewLexical returns an empty lexical index.
-func NewLexical() *Lexical {
-	return &Lexical{
+func newLexLayer() *lexLayer {
+	return &lexLayer{
 		postings: map[string]map[string]int{},
 		docLen:   map[string]int{},
 		entries:  map[string]Entry{},
+		dead:     map[string]bool{},
 	}
 }
 
-// Add indexes (or reindexes) an entry. The name field is weighted 3x: a
-// query term hitting a node's name is a far stronger signal than one
-// hitting its prose content.
-func (ix *Lexical) Add(e Entry) {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	if _, exists := ix.entries[e.ID]; exists {
-		ix.removeLocked(e.ID)
-	}
-	ix.entries[e.ID] = e
+// lexTokens expands an entry into its weighted token bag. The name field
+// is weighted 3x: a query term hitting a node's name is a far stronger
+// signal than one hitting its prose content.
+func lexTokens(e Entry) []string {
 	tokens := textutil.Tokenize(e.Name)
 	weighted := make([]string, 0, len(tokens)*3)
 	for i := 0; i < 3; i++ {
@@ -63,115 +77,236 @@ func (ix *Lexical) Add(e Entry) {
 	}
 	weighted = append(weighted, textutil.Tokenize(e.Content)...)
 	weighted = append(weighted, textutil.Tokenize(e.Tag)...)
+	return weighted
+}
+
+// add indexes e into this layer. Subword prefixes approximate the
+// character-n-gram matching of production search engines: "imp_cnt" is
+// findable from "impression count".
+func (l *lexLayer) add(e Entry) {
+	l.entries[e.ID] = e
+	weighted := lexTokens(e)
 	for _, t := range weighted {
 		if textutil.IsStopword(t) {
 			continue
 		}
-		m, ok := ix.postings[t]
+		m, ok := l.postings[t]
 		if !ok {
 			m = map[string]int{}
-			ix.postings[t] = m
+			l.postings[t] = m
 		}
 		m[e.ID]++
-		// Subword prefixes approximate the character-n-gram matching of
-		// production search engines: "imp_cnt" is findable from
-		// "impression count".
 		if len(t) >= 3 {
 			pt := "p3:" + t[:3]
-			pm, ok := ix.postings[pt]
+			pm, ok := l.postings[pt]
 			if !ok {
 				pm = map[string]int{}
-				ix.postings[pt] = pm
+				l.postings[pt] = pm
 			}
 			pm[e.ID]++
 		}
 	}
-	ix.docLen[e.ID] = len(weighted)
+	l.docLen[e.ID] = len(weighted)
 }
 
-// Clone returns a deep copy of the index: mutations to either side after
-// the clone are invisible to the other. It backs the knowledge graph's
-// copy-on-write swap, so readers can keep searching the original while a
-// writer builds and mutates the clone.
-func (ix *Lexical) Clone() *Lexical {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	cp := &Lexical{
-		postings: make(map[string]map[string]int, len(ix.postings)),
-		docLen:   make(map[string]int, len(ix.docLen)),
-		entries:  make(map[string]Entry, len(ix.entries)),
-	}
-	for t, m := range ix.postings {
-		nm := make(map[string]int, len(m))
-		for id, tf := range m {
-			nm[id] = tf
+// strip removes id's definition from this (mutable tail) layer.
+func (l *lexLayer) strip(id string) {
+	delete(l.entries, id)
+	delete(l.docLen, id)
+	for t, m := range l.postings {
+		delete(m, id)
+		if len(m) == 0 {
+			delete(l.postings, t)
 		}
-		cp.postings[t] = nm
 	}
-	for id, dl := range ix.docLen {
-		cp.docLen[id] = dl
+}
+
+// Lexical is an inverted index with TF-IDF ranking, stored as immutable
+// sealed layers plus a mutable tail (see the package comment).
+type Lexical struct {
+	mu     sync.RWMutex
+	layers []*lexLayer
+	sealed int // layers[:sealed] are immutable and may be shared with clones
+	n      int // live (non-shadowed, non-tombstoned) entry count
+}
+
+// NewLexical returns an empty lexical index.
+func NewLexical() *Lexical {
+	return &Lexical{}
+}
+
+// tail returns the mutable tail layer, opening a fresh one when every
+// current layer is sealed (i.e. after a Clone).
+func (ix *Lexical) tail() *lexLayer {
+	if ix.sealed == len(ix.layers) {
+		ix.layers = append(ix.layers, newLexLayer())
 	}
-	for id, e := range ix.entries {
-		cp.entries[id] = e
+	return ix.layers[len(ix.layers)-1]
+}
+
+// resolve returns the index of the layer holding id's current definition,
+// or -1 when id is absent or tombstoned. Newest definition wins.
+func (ix *Lexical) resolve(id string) int {
+	for li := len(ix.layers) - 1; li >= 0; li-- {
+		l := ix.layers[li]
+		if _, ok := l.entries[id]; ok {
+			return li
+		}
+		if l.dead[id] {
+			return -1
+		}
+	}
+	return -1
+}
+
+// resolveBelow is resolve restricted to layers strictly below limit.
+func (ix *Lexical) resolveBelow(id string, limit int) int {
+	for li := limit - 1; li >= 0; li-- {
+		l := ix.layers[li]
+		if _, ok := l.entries[id]; ok {
+			return li
+		}
+		if l.dead[id] {
+			return -1
+		}
+	}
+	return -1
+}
+
+// Add indexes (or reindexes) an entry: the definition lands in the
+// mutable tail and shadows any older layer's definition of the same ID.
+func (ix *Lexical) Add(e Entry) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	wasLive := ix.resolve(e.ID) >= 0
+	t := ix.tail()
+	if _, ok := t.entries[e.ID]; ok {
+		t.strip(e.ID)
+	}
+	delete(t.dead, e.ID)
+	t.add(e)
+	if !wasLive {
+		ix.n++
+	}
+}
+
+// Clone returns a snapshot sharing every sealed layer with the original:
+// mutations to either side after the clone are invisible to the other,
+// and the cost is O(layers) rather than O(index). It backs the knowledge
+// graph's copy-on-write swap, so readers can keep searching the original
+// while a writer builds and mutates the clone.
+func (ix *Lexical) Clone() *Lexical {
+	ix.mu.Lock()
+	ix.sealed = len(ix.layers) // the tail becomes immutable for both sides
+	cp := &Lexical{
+		layers: append([]*lexLayer(nil), ix.layers...),
+		sealed: len(ix.layers),
+		n:      ix.n,
+	}
+	ix.mu.Unlock()
+	if len(cp.layers) > maxLayers {
+		cp.compact()
 	}
 	return cp
+}
+
+// compact folds every layer into one sealed layer holding exactly the
+// live documents. Only called on a freshly built clone (no concurrent
+// access yet); scores are unchanged because Search already computes
+// global statistics over the live set.
+func (ix *Lexical) compact() {
+	live := map[string]Entry{}
+	for _, l := range ix.layers { // oldest -> newest: later layers win
+		for id := range l.dead {
+			delete(live, id)
+		}
+		for id, e := range l.entries {
+			live[id] = e
+		}
+	}
+	merged := newLexLayer()
+	for _, e := range live {
+		merged.add(e)
+	}
+	ix.layers = []*lexLayer{merged}
+	ix.sealed = 1
+	ix.n = len(live)
 }
 
 // Remove deletes an entry from the index.
 func (ix *Lexical) Remove(id string) {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
-	ix.removeLocked(id)
-}
-
-func (ix *Lexical) removeLocked(id string) {
-	delete(ix.entries, id)
-	delete(ix.docLen, id)
-	for t, m := range ix.postings {
-		delete(m, id)
-		if len(m) == 0 {
-			delete(ix.postings, t)
-		}
+	li := ix.resolve(id)
+	if li < 0 {
+		return
 	}
+	ix.n--
+	if li >= ix.sealed { // defined in the mutable tail: strip it
+		ix.layers[li].strip(id)
+		if ix.resolveBelow(id, li) >= 0 {
+			ix.layers[li].dead[id] = true // a sealed definition remains below
+		}
+		return
+	}
+	ix.tail().dead[id] = true
 }
 
-// Len returns the number of indexed entries.
+// Len returns the number of live entries.
 func (ix *Lexical) Len() int {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	return len(ix.entries)
+	return ix.n
 }
 
 // Entry returns the stored entry by ID.
 func (ix *Lexical) Entry(id string) (Entry, bool) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	e, ok := ix.entries[id]
-	return e, ok
+	if li := ix.resolve(id); li >= 0 {
+		return ix.layers[li].entries[id], true
+	}
+	return Entry{}, false
 }
 
 // Search returns the top-k entries by TF-IDF score against the query.
-// Results are deterministic: ties break by ID.
+// Document frequency and corpus size are computed across layers over the
+// live document set, so results are identical — scores included — to a
+// monolithic index of the same documents. Deterministic: ties break by ID.
 func (ix *Lexical) Search(query string, k int) []Hit {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	n := len(ix.entries)
+	n := ix.n
 	if n == 0 || k <= 0 {
 		return nil
 	}
 	scores := map[string]float64{}
+	type post struct {
+		tf, dl int
+	}
 	accumulate := func(term string, weight float64) {
-		m, ok := ix.postings[term]
-		if !ok {
+		// Gather the live postings for term: a document counts only from
+		// its defining layer, so shadowed and tombstoned copies are skipped.
+		live := map[string]post{}
+		for li := len(ix.layers) - 1; li >= 0; li-- {
+			l := ix.layers[li]
+			for id, tf := range l.postings[term] {
+				if ix.resolve(id) != li {
+					continue
+				}
+				live[id] = post{tf: tf, dl: l.docLen[id]}
+			}
+		}
+		if len(live) == 0 {
 			return
 		}
-		idf := math.Log(1 + float64(n)/float64(len(m)))
-		for id, tf := range m {
-			dl := ix.docLen[id]
+		idf := math.Log(1 + float64(n)/float64(len(live)))
+		for id, p := range live {
+			dl := p.dl
 			if dl == 0 {
 				dl = 1
 			}
-			scores[id] += weight * idf * float64(tf) / math.Sqrt(float64(dl))
+			scores[id] += weight * idf * float64(p.tf) / math.Sqrt(float64(dl))
 		}
 	}
 	for _, t := range textutil.ContentTokens(query) {
@@ -183,57 +318,137 @@ func (ix *Lexical) Search(query string, k int) []Hit {
 	return topK(scores, k)
 }
 
-// Vector is a brute-force cosine-similarity index over embeddings.
-type Vector struct {
-	mu      sync.RWMutex
+// vecLayer is one stratum of the vector index (see lexLayer).
+type vecLayer struct {
 	vecs    map[string]embed.Vector
 	entries map[string]Entry
+	dead    map[string]bool
+}
+
+func newVecLayer() *vecLayer {
+	return &vecLayer{vecs: map[string]embed.Vector{}, entries: map[string]Entry{}, dead: map[string]bool{}}
+}
+
+// Vector is a brute-force cosine-similarity index over embeddings, layered
+// like Lexical.
+type Vector struct {
+	mu     sync.RWMutex
+	layers []*vecLayer
+	sealed int
+	n      int
 }
 
 // NewVector returns an empty vector index.
 func NewVector() *Vector {
-	return &Vector{vecs: map[string]embed.Vector{}, entries: map[string]Entry{}}
+	return &Vector{}
+}
+
+func (ix *Vector) tail() *vecLayer {
+	if ix.sealed == len(ix.layers) {
+		ix.layers = append(ix.layers, newVecLayer())
+	}
+	return ix.layers[len(ix.layers)-1]
+}
+
+func (ix *Vector) resolve(id string) int {
+	for li := len(ix.layers) - 1; li >= 0; li-- {
+		l := ix.layers[li]
+		if _, ok := l.entries[id]; ok {
+			return li
+		}
+		if l.dead[id] {
+			return -1
+		}
+	}
+	return -1
 }
 
 // Add indexes an entry under the embedding of name+content+tag.
 func (ix *Vector) Add(e Entry) {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
-	ix.entries[e.ID] = e
-	ix.vecs[e.ID] = embed.Text(e.Name + " " + e.Content + " " + e.Tag)
+	wasLive := ix.resolve(e.ID) >= 0
+	t := ix.tail()
+	delete(t.dead, e.ID)
+	t.entries[e.ID] = e
+	t.vecs[e.ID] = embed.Text(e.Name + " " + e.Content + " " + e.Tag)
+	if !wasLive {
+		ix.n++
+	}
 }
 
-// Clone returns a deep copy of the index (see Lexical.Clone). Embedding
-// vectors are values and copy with the map.
+// Clone returns a snapshot sharing the sealed layers (see Lexical.Clone).
 func (ix *Vector) Clone() *Vector {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
+	ix.mu.Lock()
+	ix.sealed = len(ix.layers)
 	cp := &Vector{
-		vecs:    make(map[string]embed.Vector, len(ix.vecs)),
-		entries: make(map[string]Entry, len(ix.entries)),
+		layers: append([]*vecLayer(nil), ix.layers...),
+		sealed: len(ix.layers),
+		n:      ix.n,
 	}
-	for id, v := range ix.vecs {
-		cp.vecs[id] = v
-	}
-	for id, e := range ix.entries {
-		cp.entries[id] = e
+	ix.mu.Unlock()
+	if len(cp.layers) > maxLayers {
+		cp.compact()
 	}
 	return cp
+}
+
+func (ix *Vector) compact() {
+	merged := newVecLayer()
+	for _, l := range ix.layers { // oldest -> newest: later layers win
+		for id := range l.dead {
+			delete(merged.entries, id)
+			delete(merged.vecs, id)
+		}
+		for id, e := range l.entries {
+			merged.entries[id] = e
+			merged.vecs[id] = l.vecs[id]
+		}
+	}
+	ix.layers = []*vecLayer{merged}
+	ix.sealed = 1
+	ix.n = len(merged.entries)
 }
 
 // Remove deletes an entry.
 func (ix *Vector) Remove(id string) {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
-	delete(ix.entries, id)
-	delete(ix.vecs, id)
+	li := ix.resolve(id)
+	if li < 0 {
+		return
+	}
+	ix.n--
+	if li >= ix.sealed {
+		l := ix.layers[li]
+		delete(l.entries, id)
+		delete(l.vecs, id)
+		if ix.resolveVecBelow(id, li) >= 0 {
+			l.dead[id] = true
+		}
+		return
+	}
+	ix.tail().dead[id] = true
 }
 
-// Len returns the number of indexed entries.
+func (ix *Vector) resolveVecBelow(id string, limit int) int {
+	for li := limit - 1; li >= 0; li-- {
+		l := ix.layers[li]
+		if _, ok := l.entries[id]; ok {
+			return li
+		}
+		if l.dead[id] {
+			return -1
+		}
+	}
+	return -1
+}
+
+// Len returns the number of live entries.
 func (ix *Vector) Len() int {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	return len(ix.entries)
+	return ix.n
 }
 
 // Search returns the top-k entries by cosine similarity to the query
@@ -241,14 +456,25 @@ func (ix *Vector) Len() int {
 func (ix *Vector) Search(query string, k int) []Hit {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	if len(ix.vecs) == 0 || k <= 0 {
+	if ix.n == 0 || k <= 0 {
 		return nil
 	}
 	qv := embed.Text(query)
-	scores := make(map[string]float64, len(ix.vecs))
-	for id, v := range ix.vecs {
-		if s := embed.Cosine(qv, v); s > 0 {
-			scores[id] = s
+	scores := map[string]float64{}
+	seen := map[string]bool{}
+	for li := len(ix.layers) - 1; li >= 0; li-- {
+		l := ix.layers[li]
+		for id := range l.dead {
+			seen[id] = true // tombstone shadows any older definition
+		}
+		for id, v := range l.vecs {
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			if s := embed.Cosine(qv, v); s > 0 {
+				scores[id] = s
+			}
 		}
 	}
 	return topK(scores, k)

@@ -334,18 +334,34 @@ func TestBoundHandleConcurrentReuse(t *testing.T) {
 	}
 }
 
-// TestQueryScalarStaysRaw: the scalar reference executor must keep
-// planning the raw text (no fingerprinting), so the differential fuzz
-// harness compares template+binds (vectorized) against genuinely inlined
-// literals (scalar) rather than two copies of the same path.
-func TestQueryScalarStaysRaw(t *testing.T) {
+// TestQueryScalarUsesPlanCache: QueryScalar routes through the
+// fingerprinted plan cache like Query, so literal-varying scalar traffic
+// parses its template exactly once. (The differential fuzz harness keeps
+// a genuinely raw-parsed inline executor via Parse+ExecuteScalar, so this
+// no longer needs QueryScalar to stay raw.) Pinned on the ParseCalls
+// counter: 50 literal variants must cost one template parse.
+func TestQueryScalarUsesPlanCache(t *testing.T) {
 	c := resultCatalog(30)
 	before := c.PlanCacheStats()
+	// Warm the template with a literal shape the fingerprint normalizes.
 	if _, err := c.QueryScalar("SELECT id FROM facts WHERE id < 7"); err != nil {
 		t.Fatal(err)
 	}
 	after := c.PlanCacheStats()
-	if after.Fingerprints != before.Fingerprints {
-		t.Fatal("QueryScalar consulted the fingerprint cache path")
+	if after.Fingerprints == before.Fingerprints {
+		t.Fatal("QueryScalar bypassed the fingerprint cache path")
+	}
+	p0 := ParseCalls()
+	for i := 0; i < 50; i++ {
+		res, err := c.QueryScalar(fmt.Sprintf("SELECT id FROM facts WHERE id < %d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.NumRows() != min(i, 30) {
+			t.Fatalf("literal %d: got %d rows", i, res.NumRows())
+		}
+	}
+	if d := ParseCalls() - p0; d != 0 {
+		t.Fatalf("50 QueryScalar literal variants cost %d parses, want 0 (template already cached)", d)
 	}
 }

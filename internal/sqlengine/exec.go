@@ -10,12 +10,16 @@ import (
 	"datalab/internal/table"
 )
 
-// Catalog is a named collection of tables — the engine's database. It is
-// safe for concurrent use: many readers (Query/Execute) may run in parallel
-// with each other, serialized only against Register.
+// Catalog is a named collection of tables — the engine's database. Each
+// table is held as a *table.Appender: an ingest write head publishing
+// immutable snapshots. The catalog mutex guards only the name→appender map
+// (Register/lookup); data access is lock-free — every query loads the
+// snapshot current at plan time and keeps reading exactly those rows while
+// ingest appends and publishes concurrently. Open Result cursors pin their
+// snapshot the same way.
 type Catalog struct {
 	mu     sync.RWMutex
-	tables map[string]*table.Table
+	tables map[string]*table.Appender
 	order  []string
 
 	plans *planCache
@@ -23,36 +27,121 @@ type Catalog struct {
 
 // NewCatalog returns an empty catalog.
 func NewCatalog() *Catalog {
-	return &Catalog{tables: map[string]*table.Table{}, plans: newPlanCache(DefaultPlanCacheSize)}
+	return &Catalog{tables: map[string]*table.Appender{}, plans: newPlanCache(DefaultPlanCacheSize)}
 }
 
-// Register adds (or replaces) a table under its own name. Queries already
-// holding the previous *Table keep reading it unaffected.
+// Register adds (or replaces) a table under its own name, adopting its
+// columns as the ingest arena (the caller must stop mutating t). Queries
+// already holding the previous table's snapshot keep reading it
+// unaffected. Replacing a table with a different schema (column names or
+// kinds) clears the plan cache: cached statements are plain ASTs, but
+// callers comparing Prepared results across a schema change deserve a
+// clean slate, and the invalidation is observable via PlanCacheStats.
 func (c *Catalog) Register(t *table.Table) {
+	app := table.NewAppender(t)
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	key := strings.ToLower(t.Name)
-	if _, exists := c.tables[key]; !exists {
+	prev, exists := c.tables[key]
+	if !exists {
 		c.order = append(c.order, key)
 	}
-	c.tables[key] = t
+	c.tables[key] = app
+	c.mu.Unlock()
+	if exists && !sameSchema(prev.Snapshot(), app.Snapshot()) {
+		c.plans.invalidate()
+	}
 }
 
-// Table looks up a table case-insensitively, also accepting a trailing
-// "db." qualifier.
-func (c *Catalog) Table(name string) (*table.Table, bool) {
+func sameSchema(a, b *table.Snapshot) bool {
+	an, ak := a.Schema()
+	bn, bk := b.Schema()
+	if len(an) != len(bn) {
+		return false
+	}
+	for i := range an {
+		if !strings.EqualFold(an[i], bn[i]) || ak[i] != bk[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// appender looks up a table's write head case-insensitively, also
+// accepting a trailing "db." qualifier.
+func (c *Catalog) appender(name string) (*table.Appender, bool) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	key := strings.ToLower(name)
-	if t, ok := c.tables[key]; ok {
-		return t, true
+	if a, ok := c.tables[key]; ok {
+		return a, true
 	}
 	if i := strings.LastIndexByte(key, '.'); i >= 0 {
-		if t, ok := c.tables[key[i+1:]]; ok {
-			return t, true
+		if a, ok := c.tables[key[i+1:]]; ok {
+			return a, true
 		}
 	}
 	return nil, false
+}
+
+// Appender returns the table's ingest write head for streaming use:
+// Append batches rows into the pending chunk, Publish makes them visible
+// to subsequent queries in one atomic snapshot swap.
+func (c *Catalog) Appender(name string) (*table.Appender, bool) {
+	return c.appender(name)
+}
+
+// Snapshot returns the table's current published snapshot. This is the
+// read-side entry point both executors use: acquiring the snapshot is one
+// atomic load, and everything derived from it (column views, selections,
+// Result cursors) stays consistent with that snapshot regardless of
+// concurrent ingest.
+func (c *Catalog) Snapshot(name string) (*table.Snapshot, bool) {
+	a, ok := c.appender(name)
+	if !ok {
+		return nil, false
+	}
+	return a.Snapshot(), true
+}
+
+// Table returns the table's current snapshot as a flat read-only table —
+// the compatibility view over Snapshot for callers that want a *Table.
+func (c *Catalog) Table(name string) (*table.Table, bool) {
+	s, ok := c.Snapshot(name)
+	if !ok {
+		return nil, false
+	}
+	return s.Table(), true
+}
+
+// Append appends rows to a registered table and publishes one new
+// snapshot — the convenience path for small ingest batches. Streaming
+// callers that want to batch across calls should use Appender directly
+// and choose their own Publish points.
+func (c *Catalog) Append(name string, rows ...[]table.Value) error {
+	a, ok := c.appender(name)
+	if !ok {
+		return fmt.Errorf("sql: unknown table %q", name)
+	}
+	if err := a.Append(rows...); err != nil {
+		return err
+	}
+	a.Publish()
+	return nil
+}
+
+// Freeze returns a new catalog pinned to the snapshot every table is
+// currently publishing. Queries against the frozen catalog keep returning
+// identical results no matter how much ingest lands on the original —
+// the snapshot-immutability property the differential fuzz battery
+// replays queries against.
+func (c *Catalog) Freeze() *Catalog {
+	nc := NewCatalog()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, k := range c.order {
+		nc.Register(c.tables[k].Snapshot().Table())
+	}
+	return nc
 }
 
 // TableNames returns registered table names in registration order.
@@ -61,7 +150,7 @@ func (c *Catalog) TableNames() []string {
 	defer c.mu.RUnlock()
 	names := make([]string, 0, len(c.order))
 	for _, k := range c.order {
-		names = append(names, c.tables[k].Name)
+		names = append(names, c.tables[k].Name())
 	}
 	return names
 }
@@ -164,6 +253,14 @@ func vrelFrom(t *table.Table, qual string) *vrel {
 	return r
 }
 
+// vrelFromSnapshot builds the scan relation over a table snapshot. The
+// relation's columns are zero-copy views of the snapshot's storage, so
+// the whole downstream pipeline — selections, joins, lazy Results —
+// keeps reading this snapshot even as ingest publishes newer ones.
+func vrelFromSnapshot(s *table.Snapshot, qual string) *vrel {
+	return vrelFrom(s.Table(), qual)
+}
+
 // Execute runs a parsed statement against the catalog with the vectorized
 // engine: columnar scans, selection-vector filtering, hash joins for
 // equi-join conditions and hash aggregation, parallelized over row and
@@ -252,7 +349,10 @@ func (c *Catalog) scanFilter(ctx context.Context, stmt *SelectStmt, binds []tabl
 	if err := ctx.Err(); err != nil {
 		return nil, nil, false, err
 	}
-	base, ok := c.Table(stmt.From)
+	// Snapshot acquisition happens here, once per referenced table: a
+	// single atomic load pins the rows this execution (and any Result
+	// cursor it hands out) will ever see.
+	base, ok := c.Snapshot(stmt.From)
 	if !ok {
 		return nil, nil, false, fmt.Errorf("sql: unknown table %q", stmt.From)
 	}
@@ -260,7 +360,7 @@ func (c *Catalog) scanFilter(ctx context.Context, stmt *SelectStmt, binds []tabl
 	if stmt.FromAs != "" {
 		qual = stmt.FromAs
 	}
-	rel := vrelFrom(base, qual)
+	rel := vrelFromSnapshot(base, qual)
 	rel.binds = binds
 
 	var keep *joinKeepSet
@@ -268,7 +368,7 @@ func (c *Catalog) scanFilter(ctx context.Context, stmt *SelectStmt, binds []tabl
 		keep = referencedOutputColumns(stmt)
 	}
 	for _, j := range stmt.Joins {
-		rt, ok := c.Table(j.Table)
+		rt, ok := c.Snapshot(j.Table)
 		if !ok {
 			return nil, nil, false, fmt.Errorf("sql: unknown table %q", j.Table)
 		}
@@ -277,7 +377,7 @@ func (c *Catalog) scanFilter(ctx context.Context, stmt *SelectStmt, binds []tabl
 			jq = j.Alias
 		}
 		var err error
-		rel, err = joinVRel(ctx, rel, vrelFrom(rt, jq), j, keep)
+		rel, err = joinVRel(ctx, rel, vrelFromSnapshot(rt, jq), j, keep)
 		if err != nil {
 			return nil, nil, false, err
 		}

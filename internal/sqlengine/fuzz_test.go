@@ -4,6 +4,8 @@ import (
 	"context"
 	"math/rand"
 	"testing"
+
+	"datalab/internal/table"
 )
 
 // Differential fuzzing: every input derives a random catalog and a batch
@@ -22,18 +24,26 @@ import (
 //     Fingerprint, the template is prepared once, and the extracted
 //     values are re-supplied through Prepared.Exec as bound parameters —
 //     so parameter binding must reproduce the inlined-literal results
-//     row for row through both evaluators.
+//     row for row through both evaluators,
+//  6. the snapshot-immutability check: before the query runs, the catalog
+//     is frozen (Catalog.Freeze pins every table's current snapshot); the
+//     frozen result must match the live one, and after a burst of
+//     streaming appends lands on the live catalog the frozen catalog must
+//     reproduce its result byte for byte.
 //
 // (1) vs (2) isolates the Selection representation: any divergence is a
 // bug in span construction, merging, or span-aware gathering. (1) vs (3)
 // is the end-to-end engine check; (1) vs (4) pins the Result redesign to
 // the materialized reference; (1) vs (5) proves fingerprint extraction
 // and parameter binding are jointly semantics-preserving — the invariant
-// the Query plan cache relies on. The seed corpus below runs as ordinary
-// unit tests under plain `go test`; `go test -fuzz=FuzzDifferentialSQL`
-// explores further.
+// the Query plan cache relies on; (6) proves published snapshots are
+// immutable under ingest — and because the appends accumulate, every
+// later query in the batch runs the whole differential battery over
+// multi-chunk, appended-to storage. The seed corpus below runs as
+// ordinary unit tests under plain `go test`;
+// `go test -fuzz=FuzzDifferentialSQL` explores further.
 
-// diffOneSeed runs the three-way differential check for one fuzz input.
+// diffOneSeed runs the six-way differential check for one fuzz input.
 func diffOneSeed(t *testing.T, seed int64, rows uint16, nqueries uint8) {
 	t.Helper()
 	nrows := int(rows)%700 + 1
@@ -43,19 +53,31 @@ func diffOneSeed(t *testing.T, seed int64, rows uint16, nqueries uint8) {
 	for i := 0; i < nq; i++ {
 		q := randQuery(rng)
 
+		frozen := c.Freeze()
+
 		vec, vecErr := c.Query(q)
 
 		forceDenseSelection.Store(true)
 		dense, denseErr := c.Query(q)
 		forceDenseSelection.Store(false)
 
+		// Scalar reference, twice: through QueryScalar (plan-cached
+		// template + binds) and through a raw parse with the literals
+		// genuinely inlined, so fingerprinting never becomes the only
+		// scalar path the harness exercises.
 		sca, scaErr := c.QueryScalar(q)
+		var raw *table.Table
+		stmt, rawErr := Parse(q)
+		if rawErr == nil {
+			raw, rawErr = c.ExecuteScalar(stmt)
+		}
 
 		res, resErr := c.QueryCtx(context.Background(), q)
 
-		if (vecErr == nil) != (denseErr == nil) || (vecErr == nil) != (scaErr == nil) || (vecErr == nil) != (resErr == nil) {
-			t.Fatalf("query %q: error mismatch\n  range: %v\n  dense: %v\n  scalar: %v\n  result: %v",
-				q, vecErr, denseErr, scaErr, resErr)
+		if (vecErr == nil) != (denseErr == nil) || (vecErr == nil) != (scaErr == nil) ||
+			(vecErr == nil) != (rawErr == nil) || (vecErr == nil) != (resErr == nil) {
+			t.Fatalf("query %q: error mismatch\n  range: %v\n  dense: %v\n  scalar: %v\n  raw scalar: %v\n  result: %v",
+				q, vecErr, denseErr, scaErr, rawErr, resErr)
 		}
 		if vecErr != nil {
 			continue
@@ -67,10 +89,54 @@ func diffOneSeed(t *testing.T, seed int64, rows uint16, nqueries uint8) {
 		if dv != ds {
 			t.Fatalf("query %q: vectorized vs scalar mismatch\n-- vectorized --\n%s\n-- scalar --\n%s", q, dv, ds)
 		}
+		if dr := dumpTable(raw); dv != dr {
+			t.Fatalf("query %q: vectorized vs raw-inline scalar mismatch\n-- vectorized --\n%s\n-- raw --\n%s", q, dv, dr)
+		}
 		if dr := dumpResult(res); dv != dr {
 			t.Fatalf("query %q: vectorized vs Result batches mismatch\n-- vectorized --\n%s\n-- result --\n%s", q, dv, dr)
 		}
 		diffBindVsInline(t, c, q, dv)
+		diffFrozenSnapshot(t, rng, c, frozen, q, dv)
+	}
+}
+
+// diffFrozenSnapshot is executor #6: frozen was pinned before the query
+// ran on the live catalog, so its result must match dv now — and still
+// match byte for byte after a burst of streaming appends is published to
+// the live catalog. The appends go through the same Appender ingest path
+// production uses and stay in place, so subsequent queries in the batch
+// differentially test multi-chunk appended-to storage end to end.
+func diffFrozenSnapshot(t *testing.T, rng *rand.Rand, c, frozen *Catalog, q, dv string) {
+	t.Helper()
+	before, err := frozen.Query(q)
+	if err != nil {
+		t.Fatalf("query %q: frozen catalog errored where live succeeded: %v", q, err)
+	}
+	if db := dumpTable(before); db != dv {
+		t.Fatalf("query %q: frozen vs live mismatch before ingest\n-- frozen --\n%s\n-- live --\n%s", q, db, dv)
+	}
+
+	dataApp, _ := c.Appender("data")
+	multiApp, _ := c.Appender("multi")
+	for i, n := 0, 1+rng.Intn(4); i < n; i++ {
+		if err := dataApp.Append(randDataRow(rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rng.Intn(2) == 0 {
+		if err := multiApp.Append(randMultiRow(rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dataApp.Publish()
+	multiApp.Publish()
+
+	after, err := frozen.Query(q)
+	if err != nil {
+		t.Fatalf("query %q: frozen catalog errored after ingest: %v", q, err)
+	}
+	if da := dumpTable(after); da != dv {
+		t.Fatalf("query %q: frozen snapshot changed under ingest\n-- before --\n%s\n-- after --\n%s", q, dv, da)
 	}
 }
 
@@ -154,6 +220,16 @@ func FuzzDifferentialSQL(f *testing.F) {
 	f.Add(int64(17), uint16(77), uint8(45))
 	f.Add(int64(18), uint16(640), uint8(45))
 	f.Add(int64(19), uint16(5), uint8(40))
+	// Seeds added with snapshot-isolated streaming ingest: executor #6
+	// freezes the catalog before every query and appends between the two
+	// frozen replays, so these inputs drive the whole battery over tables
+	// that keep growing chunk by chunk mid-batch — small initial tables
+	// make the appended chunks dominate, large ones cross the parallel
+	// scan threshold with multi-chunk storage.
+	f.Add(int64(20), uint16(4), uint8(47))
+	f.Add(int64(21), uint16(260), uint8(45))
+	f.Add(int64(22), uint16(690), uint8(45))
+	f.Add(int64(23), uint16(0), uint8(47))
 	f.Fuzz(diffOneSeed)
 }
 

@@ -20,13 +20,14 @@ const DefaultPlanCacheSize = 256
 // Parse errors are not cached: failing texts are rare, unbounded in
 // variety, and re-parsing them keeps error messages exact.
 type planCache struct {
-	mu           sync.Mutex
-	cap          int
-	ll           *list.List // front = most recently used
-	bySQL        map[string]*list.Element
-	hits, misses int64
-	evictions    int64
-	fingerprints atomic.Int64 // Query texts normalized to a template
+	mu            sync.Mutex
+	cap           int
+	ll            *list.List // front = most recently used
+	bySQL         map[string]*list.Element
+	hits, misses  int64
+	evictions     int64
+	invalidations int64        // full clears on schema-changing Register
+	fingerprints  atomic.Int64 // Query texts normalized to a template
 }
 
 type planEntry struct {
@@ -66,15 +67,28 @@ func (pc *planCache) put(sql string, stmt *SelectStmt) {
 	}
 }
 
+// invalidate clears every cached plan. It runs when a table is
+// re-registered with a different schema: cached statements stay
+// syntactically valid, but dropping them gives post-change executions a
+// clean planning slate and makes the schema change observable in stats.
+func (pc *planCache) invalidate() {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	pc.ll.Init()
+	pc.bySQL = make(map[string]*list.Element, pc.cap)
+	pc.invalidations++
+}
+
 // PlanCacheStats is a point-in-time snapshot of a catalog's plan-cache
 // counters, for metrics and tests.
 type PlanCacheStats struct {
-	Hits         int64 // lookups answered from the cache
-	Misses       int64 // lookups that fell through to the parser
-	Evictions    int64 // LRU entries dropped after the cache filled
-	Fingerprints int64 // Query/QueryCtx texts normalized to a parameter template
-	Size         int   // current entry count
-	Cap          int   // maximum entry count
+	Hits          int64 // lookups answered from the cache
+	Misses        int64 // lookups that fell through to the parser
+	Evictions     int64 // LRU entries dropped after the cache filled
+	Invalidations int64 // full clears caused by schema-changing Register
+	Fingerprints  int64 // Query/QueryCtx texts normalized to a parameter template
+	Size          int   // current entry count
+	Cap           int   // maximum entry count
 }
 
 // HitRate returns Hits/(Hits+Misses), or 0 before any lookup.
@@ -90,12 +104,13 @@ func (pc *planCache) statsSnapshot() PlanCacheStats {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
 	return PlanCacheStats{
-		Hits:         pc.hits,
-		Misses:       pc.misses,
-		Evictions:    pc.evictions,
-		Fingerprints: pc.fingerprints.Load(),
-		Size:         pc.ll.Len(),
-		Cap:          pc.cap,
+		Hits:          pc.hits,
+		Misses:        pc.misses,
+		Evictions:     pc.evictions,
+		Invalidations: pc.invalidations,
+		Fingerprints:  pc.fingerprints.Load(),
+		Size:          pc.ll.Len(),
+		Cap:           pc.cap,
 	}
 }
 

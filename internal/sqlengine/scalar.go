@@ -181,13 +181,16 @@ func finishNumericAggregate(name string, nums []float64) table.Value {
 }
 
 // QueryScalar parses and executes a SELECT with the scalar reference
-// executor.
+// executor. Like Query, the text goes through fingerprinting and the plan
+// cache: repeated templates parse once and execute with their extracted
+// literals bound, so differential runs alternating Query/QueryScalar no
+// longer pay (or skew) a raw parse per scalar call.
 func (c *Catalog) QueryScalar(sql string) (*table.Table, error) {
-	stmt, err := Parse(sql)
+	stmt, binds, err := c.planQuery(sql)
 	if err != nil {
 		return nil, err
 	}
-	return c.ExecuteScalar(stmt)
+	return c.ExecuteScalarBound(stmt, binds)
 }
 
 // ExecuteScalar runs a parsed statement with the row-at-a-time reference
@@ -204,7 +207,9 @@ func (c *Catalog) ExecuteScalarBound(stmt *SelectStmt, binds []table.Value) (*ta
 	if err != nil {
 		return nil, err
 	}
-	base, ok := c.Table(stmt.From)
+	// Same snapshot discipline as the vectorized path: one atomic load per
+	// referenced table pins the rows this execution reads.
+	base, ok := c.Snapshot(stmt.From)
 	if !ok {
 		return nil, fmt.Errorf("sql: unknown table %q", stmt.From)
 	}
@@ -212,11 +217,11 @@ func (c *Catalog) ExecuteScalarBound(stmt *SelectStmt, binds []table.Value) (*ta
 	if stmt.FromAs != "" {
 		qual = stmt.FromAs
 	}
-	rel := srelFrom(base, qual)
+	rel := srelFrom(base.Table(), qual)
 	rel.binds = binds
 
 	for _, j := range stmt.Joins {
-		rt, ok := c.Table(j.Table)
+		rt, ok := c.Snapshot(j.Table)
 		if !ok {
 			return nil, fmt.Errorf("sql: unknown table %q", j.Table)
 		}
@@ -225,7 +230,7 @@ func (c *Catalog) ExecuteScalarBound(stmt *SelectStmt, binds []table.Value) (*ta
 			jq = j.Alias
 		}
 		var err error
-		rel, err = joinRelationsScalar(rel, srelFrom(rt, jq), j)
+		rel, err = joinRelationsScalar(rel, srelFrom(rt.Table(), jq), j)
 		if err != nil {
 			return nil, err
 		}

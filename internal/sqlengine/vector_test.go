@@ -124,38 +124,60 @@ func TestAllNullProjectionDoesNotPanic(t *testing.T) {
 	}
 }
 
+// randDataRow draws one row for the `data` table — shared between initial
+// catalog construction and the streaming appends the snapshot-immutability
+// executor performs, so ingested rows follow the same distributions.
+func randDataRow(rng *rand.Rand) []table.Value {
+	cats := []string{"red", "green", "blue", "mauve", ""}
+	var a, b, c, d table.Value
+	if rng.Intn(10) == 0 {
+		a = table.Null()
+	} else {
+		a = table.Int(int64(rng.Intn(50) - 10))
+	}
+	if rng.Intn(10) == 0 {
+		b = table.Null()
+	} else {
+		b = table.Float(float64(rng.Intn(2000))/10 - 40)
+	}
+	s := cats[rng.Intn(len(cats))]
+	if s == "" {
+		c = table.Null()
+	} else {
+		c = table.Str(s)
+	}
+	if rng.Intn(12) == 0 {
+		d = table.Null()
+	} else {
+		d = table.Bool(rng.Intn(2) == 0)
+	}
+	return []table.Value{a, b, c, d, table.Int(int64(rng.Intn(8)))}
+}
+
+// randMultiRow draws one row for the duplicate-keyed `multi` join table.
+func randMultiRow(rng *rand.Rand) []table.Value {
+	var k table.Value
+	switch {
+	case rng.Intn(8) == 0:
+		k = table.Null()
+	case rng.Intn(5) == 0:
+		k = table.Int(int64(8 + rng.Intn(2)))
+	default:
+		k = table.Int(int64(rng.Intn(6)))
+	}
+	return []table.Value{k,
+		table.Str(fmt.Sprintf("t%d", rng.Intn(4))),
+		table.Float(float64(rng.Intn(80)) / 10)}
+}
+
 // randCatalog builds a randomized dataset with NULLs, duplicates, and a
 // dimension table for joins.
 func randCatalog(rng *rand.Rand, rows int) *Catalog {
 	data := table.MustNew("data",
 		[]string{"a", "b", "c", "d", "e"},
 		[]table.Kind{table.KindInt, table.KindFloat, table.KindString, table.KindBool, table.KindInt})
-	cats := []string{"red", "green", "blue", "mauve", ""}
 	for i := 0; i < rows; i++ {
-		var a, b, c, d table.Value
-		if rng.Intn(10) == 0 {
-			a = table.Null()
-		} else {
-			a = table.Int(int64(rng.Intn(50) - 10))
-		}
-		if rng.Intn(10) == 0 {
-			b = table.Null()
-		} else {
-			b = table.Float(float64(rng.Intn(2000))/10 - 40)
-		}
-		s := cats[rng.Intn(len(cats))]
-		if s == "" {
-			c = table.Null()
-		} else {
-			c = table.Str(s)
-		}
-		if rng.Intn(12) == 0 {
-			d = table.Null()
-		} else {
-			d = table.Bool(rng.Intn(2) == 0)
-		}
-		e := table.Int(int64(rng.Intn(8)))
-		data.MustAppendRow(a, b, c, d, e)
+		data.MustAppendRow(randDataRow(rng)...)
 	}
 	dim := table.MustNew("dim",
 		[]string{"key", "label", "weight"},
@@ -171,18 +193,7 @@ func randCatalog(rng *rand.Rand, rows int) *Catalog {
 		[]string{"mkey", "tag", "score"},
 		[]table.Kind{table.KindInt, table.KindString, table.KindFloat})
 	for i, n := 0, 6+rng.Intn(12); i < n; i++ {
-		var k table.Value
-		switch {
-		case rng.Intn(8) == 0:
-			k = table.Null()
-		case rng.Intn(5) == 0:
-			k = table.Int(int64(8 + rng.Intn(2)))
-		default:
-			k = table.Int(int64(rng.Intn(6)))
-		}
-		multi.MustAppendRow(k,
-			table.Str(fmt.Sprintf("t%d", rng.Intn(4))),
-			table.Float(float64(rng.Intn(80))/10))
+		multi.MustAppendRow(randMultiRow(rng)...)
 	}
 	c := NewCatalog()
 	c.Register(data)

@@ -214,6 +214,33 @@ func (c *Column) Append(v Value) {
 // AppendNull appends a NULL cell.
 func (c *Column) AppendNull() { c.Append(Value{}) }
 
+// AppendColumn appends every cell of src. When both columns are typed with
+// the same kind the copy is slab-at-a-time on the raw slices; otherwise it
+// falls back to cell-at-a-time Append with coercion to c's kind (so a
+// mismatched src degrades c exactly as the equivalent Append loop would).
+func (c *Column) AppendColumn(src *Column) {
+	if c.boxed == nil && src.boxed == nil && c.Kind == src.Kind {
+		c.nulls = append(c.nulls, src.nulls...)
+		switch c.Kind {
+		case KindInt:
+			c.ints = append(c.ints, src.ints...)
+		case KindFloat:
+			c.floats = append(c.floats, src.floats...)
+		case KindString:
+			c.strs = append(c.strs, src.strs...)
+		case KindBool:
+			c.bools = append(c.bools, src.bools...)
+		case KindTime:
+			c.times = append(c.times, src.times...)
+		}
+		c.length += src.length
+		return
+	}
+	for i := 0; i < src.length; i++ {
+		c.Append(src.Value(i).Coerce(c.Kind))
+	}
+}
+
 // Set overwrites cell i.
 func (c *Column) Set(i int, v Value) {
 	if c.boxed == nil && !v.IsNull() && v.Kind != c.Kind {
