@@ -1,0 +1,136 @@
+package datalab_test
+
+// Server-path benchmarks: the full HTTP + JSONL wire stack end to end,
+// tracked by the CI bench gate under the `Server` family. These live in
+// the external test package because internal/server imports datalab.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"datalab"
+	"datalab/internal/server"
+)
+
+const benchServerRows = 100_000
+
+// newBenchServer starts an in-process server over a demo table.
+func newBenchServer(b *testing.B, rows int) *httptest.Server {
+	b.Helper()
+	p := datalab.MustNew(datalab.WithSeed("bench-server"))
+	if err := server.LoadDemo(p, rows); err != nil {
+		b.Fatal(err)
+	}
+	srv := server.New(p, server.Config{}, io.Discard)
+	ts := httptest.NewServer(srv.Handler())
+	b.Cleanup(func() { ts.Close(); srv.Close() })
+	return ts
+}
+
+func benchServerQuery(b *testing.B, sql string) {
+	ts := newBenchServer(b, benchServerRows)
+	body, _ := json.Marshal(map[string]any{"sql": sql})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		n, err := io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			b.Fatalf("status=%d copy=%d err=%v", resp.StatusCode, n, err)
+		}
+		b.SetBytes(n)
+	}
+}
+
+// BenchmarkServerQueryStream100k streams the whole demo table as JSONL
+// batches — the serialization-bound hot path.
+func BenchmarkServerQueryStream100k(b *testing.B) {
+	benchServerQuery(b, "SELECT id, kind, value FROM events")
+}
+
+// BenchmarkServerQueryAggregate measures per-request overhead (admission,
+// session, plan cache, wire framing) when the payload is tiny.
+func BenchmarkServerQueryAggregate(b *testing.B) {
+	benchServerQuery(b, "SELECT kind, COUNT(*), SUM(value) FROM events GROUP BY kind")
+}
+
+// BenchmarkServerCursorNext pages one rewindable server-side cursor,
+// rewinding when it drains, so every iteration is a /next round trip.
+func BenchmarkServerCursorNext(b *testing.B) {
+	ts := newBenchServer(b, benchServerRows)
+	body, _ := json.Marshal(map[string]any{"sql": "SELECT id, value FROM events"})
+	resp, err := http.Post(ts.URL+"/v1/cursors", "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var created struct {
+		CursorID string `json:"cursor_id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+	next := ts.URL + "/v1/cursors/" + created.CursorID + "/next?max_rows=4096"
+	rewind := ts.URL + "/v1/cursors/" + created.CursorID + "/rewind"
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(next, "", nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var page struct {
+			Done bool `json:"cursor_done"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if page.Done {
+			b.StopTimer()
+			r, err := http.Post(rewind, "", nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			io.Copy(io.Discard, r.Body)
+			r.Body.Close()
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkServerIngestStream streams JSONL rows into a table over HTTP —
+// decode, type, append, periodic publish.
+func BenchmarkServerIngestStream(b *testing.B) {
+	ts := newBenchServer(b, 1000)
+	const chunk = 2000
+	var payload bytes.Buffer
+	for i := 0; i < chunk; i++ {
+		fmt.Fprintf(&payload, "[%d, \"bench\", %d.5]\n", 1_000_000+i, i%100)
+	}
+	raw := payload.Bytes()
+	b.ReportAllocs()
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(ts.URL+"/v1/ingest/events", "application/x-ndjson", bytes.NewReader(raw))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("ingest status %d", resp.StatusCode)
+		}
+	}
+}

@@ -19,12 +19,22 @@ import (
 func main() {
 	scale := flag.Float64("scale", 1.0, "fraction of full workload sizes (0,1]")
 	seed := flag.String("seed", "datalab-v1", "experiment seed")
-	only := flag.String("only", "", "run a single experiment: table1|figure6|knowgen|table2|table3|figure7|table4|engine|plancache|ingest")
+	only := flag.String("only", "", "run a single experiment: table1|figure6|knowgen|table2|table3|figure7|table4|engine|plancache|ingest|server")
+	all := flag.Bool("all", false, "run every BENCH-emitting workload family (plancache, ingest, server) and write their snapshots")
 	plancacheOut := flag.String("plancache-out", "BENCH_plancache.json", "output path for the plan-cache workload snapshot")
 	ingestOut := flag.String("ingest-out", "BENCH_ingest.json", "output path for the streaming-ingest workload snapshot")
+	serverOut := flag.String("server-out", "BENCH_server.json", "output path for the wire-protocol workload snapshot")
 	flag.Parse()
 
-	run := func(name string) bool { return *only == "" || *only == name }
+	// benchFamilies are the workloads that persist BENCH_*.json snapshots;
+	// -all runs exactly these (skipping the paper-table experiments).
+	benchFamilies := map[string]bool{"plancache": true, "ingest": true, "server": true}
+	run := func(name string) bool {
+		if *all {
+			return benchFamilies[name]
+		}
+		return *only == "" || *only == name
+	}
 
 	if run("table1") {
 		fmt.Println("== Table I: end-to-end performance on research benchmarks ==")
@@ -114,6 +124,14 @@ func main() {
 		fmt.Println("== Streaming ingest: append/publish + query-during-ingest workloads ==")
 		if err := ingestBench(int(500_000**scale), *ingestOut); err != nil {
 			fmt.Fprintln(os.Stderr, "ingest:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+	if run("server") {
+		fmt.Println("== Query server: HTTP + JSONL wire-protocol workloads ==")
+		if err := serverBench(int(100_000**scale), *serverOut); err != nil {
+			fmt.Fprintln(os.Stderr, "server:", err)
 			os.Exit(1)
 		}
 	}

@@ -1,0 +1,234 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"time"
+
+	"datalab"
+	"datalab/internal/server"
+)
+
+// serverSnapshot is the BENCH_server.json schema: one record per wire
+// workload, capturing end-to-end throughput through the full HTTP + JSONL
+// stack (admission, session, execution, serialization).
+type serverSnapshot struct {
+	Workload   string  `json:"workload"`
+	Rows       int     `json:"rows"`
+	Queries    int     `json:"queries"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	JSONLLines int     `json:"jsonl_lines"`
+	WireBytes  int64   `json:"wire_bytes"`
+}
+
+// countingReader tallies wire bytes as JSONL lines are decoded off it.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// drainValidated decodes a JSONL response, checks every line carries a
+// known code, and returns (lines, wire bytes). Doubles as a protocol
+// conformance check: the bench fails on any malformed line.
+func drainValidated(resp *http.Response) (int, int64, error) {
+	defer resp.Body.Close()
+	cr := &countingReader{r: resp.Body}
+	dec := json.NewDecoder(cr)
+	lines := 0
+	for {
+		var l map[string]any
+		if err := dec.Decode(&l); err == io.EOF {
+			break
+		} else if err != nil {
+			return lines, cr.n, fmt.Errorf("malformed JSONL line %d: %w", lines+1, err)
+		}
+		switch l["code"] {
+		case server.CodeStartup, server.CodeProgress, server.CodeOK:
+		case server.CodeError:
+			return lines, cr.n, fmt.Errorf("server error line: %v", l["error"])
+		default:
+			return lines, cr.n, fmt.Errorf("unknown code %v in line %d", l["code"], lines+1)
+		}
+		lines++
+	}
+	return lines, cr.n, nil
+}
+
+// serverBench drives the wire-protocol workloads end to end against an
+// in-process HTTP server: full-table query streaming, small aggregate
+// round trips, streamed JSONL ingest, and cursor pagination. It writes
+// BENCH_server.json and fails on any protocol violation.
+func serverBench(rows int, outPath string) error {
+	if rows < 10_000 {
+		rows = 10_000
+	}
+	p := datalab.MustNew(datalab.WithSeed("bench-server"))
+	if err := server.LoadDemo(p, rows); err != nil {
+		return err
+	}
+	srv := server.New(p, server.Config{}, io.Discard)
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var snaps []serverSnapshot
+	post := func(path string, v any) (*http.Response, error) {
+		data, _ := json.Marshal(v)
+		return http.Post(ts.URL+path, "application/json", bytes.NewReader(data))
+	}
+
+	// Workload 1: stream the whole table — serialization-bound.
+	const streamReps = 5
+	lines, wire := 0, int64(0)
+	start := time.Now()
+	for i := 0; i < streamReps; i++ {
+		resp, err := post("/v1/query", map[string]any{"sql": "SELECT id, kind, value FROM events"})
+		if err != nil {
+			return err
+		}
+		n, b, err := drainValidated(resp)
+		if err != nil {
+			return fmt.Errorf("query_stream: %w", err)
+		}
+		lines += n
+		wire += b
+	}
+	elapsed := time.Since(start)
+	snaps = append(snaps, serverSnapshot{
+		Workload: "query_stream", Rows: rows, Queries: streamReps,
+		NsPerOp:    float64(elapsed.Nanoseconds()) / float64(streamReps),
+		JSONLLines: lines, WireBytes: wire,
+	})
+	fmt.Printf("query stream:    %d rows x%d -> %d JSONL lines, %.1f MB wire  (%v/query)\n",
+		rows, streamReps, lines, float64(wire)/1e6, elapsed/streamReps)
+
+	// Workload 2: tiny aggregate round trips — per-request overhead.
+	aggReps := 200
+	lines, wire = 0, 0
+	start = time.Now()
+	for i := 0; i < aggReps; i++ {
+		resp, err := post("/v1/query", map[string]any{
+			"sql":  "SELECT COUNT(*) FROM events WHERE id < ?",
+			"args": []any{i * (rows / aggReps)},
+		})
+		if err != nil {
+			return err
+		}
+		n, b, err := drainValidated(resp)
+		if err != nil {
+			return fmt.Errorf("query_roundtrip: %w", err)
+		}
+		lines += n
+		wire += b
+	}
+	elapsed = time.Since(start)
+	snaps = append(snaps, serverSnapshot{
+		Workload: "query_roundtrip", Rows: rows, Queries: aggReps,
+		NsPerOp:    float64(elapsed.Nanoseconds()) / float64(aggReps),
+		JSONLLines: lines, WireBytes: wire,
+	})
+	fmt.Printf("query roundtrip: %d bound-arg aggregates  (%v/query)\n", aggReps, elapsed/time.Duration(aggReps))
+
+	// Workload 3: streamed JSONL ingest over the wire.
+	ingestRows := rows / 5
+	var body bytes.Buffer
+	for i := 0; i < ingestRows; i++ {
+		fmt.Fprintf(&body, "[%d, \"wire\", %d.5]\n", rows+i, i%100)
+	}
+	wireIn := int64(body.Len())
+	start = time.Now()
+	resp, err := http.Post(ts.URL+"/v1/ingest/events", "application/x-ndjson", &body)
+	if err != nil {
+		return err
+	}
+	lines, _, err = drainValidated(resp)
+	if err != nil {
+		return fmt.Errorf("ingest_stream: %w", err)
+	}
+	elapsed = time.Since(start)
+	snaps = append(snaps, serverSnapshot{
+		Workload: "ingest_stream", Rows: ingestRows, Queries: 1,
+		NsPerOp:    float64(elapsed.Nanoseconds()) / float64(ingestRows),
+		JSONLLines: lines, WireBytes: wireIn,
+	})
+	fmt.Printf("ingest stream:   %d rows over the wire  (%v/row)\n", ingestRows, elapsed/time.Duration(ingestRows))
+
+	// Workload 4: cursor pagination — page through the table twice via
+	// one rewindable server-side cursor.
+	resp, err = post("/v1/cursors", map[string]any{"sql": "SELECT id, value FROM events"})
+	if err != nil {
+		return err
+	}
+	var created struct {
+		CursorID string `json:"cursor_id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	pages, pageLines, pageWire := 0, 0, int64(0)
+	start = time.Now()
+	for pass := 0; pass < 2; pass++ {
+		for {
+			r, err := http.Post(ts.URL+"/v1/cursors/"+created.CursorID+"/next?max_rows=4096", "", nil)
+			if err != nil {
+				return err
+			}
+			cr := &countingReader{r: r.Body}
+			var page struct {
+				Code string `json:"code"`
+				Done bool   `json:"cursor_done"`
+			}
+			err = json.NewDecoder(cr).Decode(&page)
+			io.Copy(io.Discard, cr)
+			r.Body.Close()
+			if err != nil || page.Code != server.CodeOK {
+				return fmt.Errorf("cursor_page: page %d code=%q err=%v", pages+1, page.Code, err)
+			}
+			pages++
+			pageLines++
+			pageWire += cr.n
+			if page.Done {
+				break
+			}
+		}
+		if pass == 0 {
+			r, err := http.Post(ts.URL+"/v1/cursors/"+created.CursorID+"/rewind", "", nil)
+			if err != nil {
+				return err
+			}
+			io.Copy(io.Discard, r.Body)
+			r.Body.Close()
+		}
+	}
+	elapsed = time.Since(start)
+	snaps = append(snaps, serverSnapshot{
+		Workload: "cursor_page", Rows: 2 * rows, Queries: pages,
+		NsPerOp:    float64(elapsed.Nanoseconds()) / float64(pages),
+		JSONLLines: pageLines, WireBytes: pageWire,
+	})
+	fmt.Printf("cursor pages:    %d pages over two passes (rewind between)  (%v/page)\n",
+		pages, elapsed/time.Duration(pages))
+
+	data, err := json.MarshalIndent(snaps, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("snapshot:        %s\n", outPath)
+	return nil
+}

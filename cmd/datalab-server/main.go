@@ -1,0 +1,105 @@
+// Command datalab-server serves a datalab Platform over HTTP with the
+// agent-first JSONL wire protocol (see docs/SERVER.md): per-session
+// contexts over a shared catalog, server-side cursors, streamed query
+// batches, streamed ingest, admission control with typed backpressure,
+// and graceful cancellation when a client disconnects mid-stream.
+//
+// Operational output is JSONL on stdout — a startup line echoing the
+// effective config (secrets redacted) followed by one ok/cancel/error
+// event per request.
+//
+//	datalab-server -addr :8080 -demo-rows 100000
+//
+// The bearer token, when required, comes from the DATALAB_AUTH_TOKEN_SECRET
+// environment variable (the _secret suffix is the redaction contract).
+//
+// `datalab-server -check http://localhost:8080/healthz` probes a running
+// server and exits 0/1 — the Docker HEALTHCHECK hook for images that
+// carry no shell or curl.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"datalab"
+	"datalab/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	demoRows := flag.Int("demo-rows", 0, "register a demo `events` table with this many rows")
+	maxConcurrent := flag.Int("max-concurrent", 0, "max concurrently executing queries (0 = 2x GOMAXPROCS)")
+	queueTimeout := flag.Duration("queue-timeout", time.Second, "how long an over-limit query queues before a typed backpressure rejection")
+	sessionIdle := flag.Duration("session-idle", 15*time.Minute, "idle TTL after which sessions are swept")
+	pageRows := flag.Int("page-rows", 4096, "default cursor page size in rows")
+	check := flag.String("check", "", "health-probe mode: GET this URL, exit 0 on ok (Docker HEALTHCHECK)")
+	flag.Parse()
+
+	if *check != "" {
+		os.Exit(probe(*check))
+	}
+
+	p := datalab.MustNew()
+	if *demoRows > 0 {
+		if err := server.LoadDemo(p, *demoRows); err != nil {
+			fmt.Fprintf(os.Stderr, `{"code":"error","error":%q}`+"\n", err.Error())
+			os.Exit(1)
+		}
+	}
+	srv := server.New(p, server.Config{
+		MaxConcurrentQueries: *maxConcurrent,
+		QueueTimeout:         *queueTimeout,
+		SessionIdleTimeout:   *sessionIdle,
+		PageRows:             *pageRows,
+		AuthTokenSecret:      os.Getenv("DATALAB_AUTH_TOKEN_SECRET"),
+	}, os.Stdout)
+	defer srv.Close()
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Printf(`{"code":"ok","event":"listening","addr":%q,"demo_rows":%d}`+"\n", *addr, *demoRows)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, `{"code":"error","error":%q}`+"\n", err.Error())
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	// Graceful drain: stop accepting, give in-flight streams a moment,
+	// then cancel every session so the executors abort.
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, `{"code":"error","event":"shutdown","error":%q}`+"\n", err.Error())
+	}
+	fmt.Println(`{"code":"ok","event":"shutdown"}`)
+}
+
+// probe GETs a health URL and reports via exit status, printing the
+// body line through.
+func probe(url string) int {
+	client := &http.Client{Timeout: 3 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, `{"code":"error","error":%q}`+"\n", err.Error())
+		return 1
+	}
+	defer resp.Body.Close()
+	io.Copy(os.Stdout, io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusOK {
+		return 1
+	}
+	return 0
+}

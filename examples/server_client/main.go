@@ -1,0 +1,144 @@
+// Server client: spin up the multi-session query server in-process, then
+// act as an agent on the other side of the wire — stream a query as JSONL
+// batches, stream new rows in, page a server-side cursor, rewind it, and
+// read the stats line. Everything the client sees is the agent-first
+// protocol: one JSON object per line, self-describing suffix-named fields,
+// a terminal ok/error line per request.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+
+	"datalab"
+	"datalab/internal/server"
+)
+
+func main() {
+	p := datalab.MustNew(datalab.WithSeed("server-client"))
+	if err := server.LoadDemo(p, 10_000); err != nil {
+		log.Fatal(err)
+	}
+	srv := server.New(p, server.Config{}, io.Discard)
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// 1. Stream a query: startup line, progress line per batch, terminal ok.
+	fmt.Println("== streamed query ==")
+	resp := post(ts.URL+"/v1/query", map[string]any{
+		"sql": "SELECT kind, COUNT(*), SUM(value) FROM events GROUP BY kind ORDER BY kind",
+	})
+	for i, line := range drain(resp) {
+		compact, _ := json.Marshal(pruneRows(line))
+		fmt.Printf("  line %d: %s\n", i+1, compact)
+	}
+
+	// 2. Stream ingest: rows go in as JSONL arrays, visibility is atomic.
+	fmt.Println("== streamed ingest ==")
+	var body bytes.Buffer
+	for i := 0; i < 500; i++ {
+		fmt.Fprintf(&body, "[%d, \"signup\", %d.25]\n", 10_000+i, i%50)
+	}
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/ingest/events", &body)
+	ir, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	last := terminal(drain(ir))
+	fmt.Printf("  appended %v rows, %v now visible\n",
+		last["rows_appended_total"], last["rows_visible_total"])
+
+	// 3. Server-side cursor: page through, rewind, read again.
+	fmt.Println("== cursor with rewind ==")
+	cr := post(ts.URL+"/v1/cursors", map[string]any{
+		"sql": "SELECT id, value FROM events ORDER BY id",
+	})
+	created := terminal(drain(cr))
+	cursorID := created["cursor_id"].(string)
+	fmt.Printf("  cursor %s over %v rows\n", cursorID, created["rows_total"])
+	for pass := 1; pass <= 2; pass++ {
+		pages, rows := 0, 0
+		for {
+			nr, err := http.Post(ts.URL+"/v1/cursors/"+cursorID+"/next?max_rows=2000", "", nil)
+			if err != nil {
+				log.Fatal(err)
+			}
+			page := terminal(drain(nr))
+			pages++
+			rows += len(page["rows"].([]any))
+			if done, _ := page["cursor_done"].(bool); done {
+				break
+			}
+		}
+		fmt.Printf("  pass %d: %d rows in %d pages\n", pass, rows, pages)
+		if pass == 1 {
+			rw, err := http.Post(ts.URL+"/v1/cursors/"+cursorID+"/rewind", "", nil)
+			if err != nil {
+				log.Fatal(err)
+			}
+			drain(rw)
+		}
+	}
+
+	// 4. The stats line: counters with self-describing suffixes.
+	sr, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats := terminal(drain(sr))
+	fmt.Printf("== stats: queries_total=%v rows_streamed_total=%v ingest_rows_total=%v ==\n",
+		stats["queries_total"], stats["rows_streamed_total"], stats["ingest_rows_total"])
+}
+
+func post(url string, v any) *http.Response {
+	data, _ := json.Marshal(v)
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		log.Fatal(err)
+	}
+	return resp
+}
+
+// drain decodes every JSONL line of a response body.
+func drain(resp *http.Response) []map[string]any {
+	defer resp.Body.Close()
+	var lines []map[string]any
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var l map[string]any
+		if err := dec.Decode(&l); err == io.EOF {
+			break
+		} else if err != nil {
+			log.Fatal(err)
+		}
+		if l["code"] == "error" {
+			log.Fatalf("server error: %v", l["error"])
+		}
+		lines = append(lines, l)
+	}
+	return lines
+}
+
+func terminal(lines []map[string]any) map[string]any {
+	return lines[len(lines)-1]
+}
+
+// pruneRows elides bulk row payloads so the printed transcript stays
+// readable; every other field prints as-is.
+func pruneRows(l map[string]any) map[string]any {
+	if rows, ok := l["rows"].([]any); ok && len(rows) > 3 {
+		out := make(map[string]any, len(l))
+		for k, v := range l {
+			out[k] = v
+		}
+		out["rows"] = fmt.Sprintf("[... %d rows ...]", len(rows))
+		return out
+	}
+	return l
+}

@@ -1,0 +1,197 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestAdmissionBackpressure saturates the semaphore directly: with every
+// slot held, an acquire must fail with the typed BackpressureError within
+// (roughly) the queue timeout, and never sooner than the timeout allows.
+func TestAdmissionBackpressure(t *testing.T) {
+	const slots = 4
+	const queueTimeout = 100 * time.Millisecond
+	adm := newAdmission(slots, queueTimeout)
+	releases := make([]func(), slots)
+	for i := range releases {
+		rel, err := adm.acquire(context.Background())
+		if err != nil {
+			t.Fatalf("slot %d: %v", i, err)
+		}
+		releases[i] = rel
+	}
+	start := time.Now()
+	_, err := adm.acquire(context.Background())
+	elapsed := time.Since(start)
+	bp, ok := err.(*BackpressureError)
+	if !ok {
+		t.Fatalf("over-limit acquire error = %v, want *BackpressureError", err)
+	}
+	if bp.Limit != slots {
+		t.Fatalf("BackpressureError.Limit = %d, want %d", bp.Limit, slots)
+	}
+	if elapsed < queueTimeout || elapsed > 10*queueTimeout {
+		t.Fatalf("rejection took %v, want ≈%v", elapsed, queueTimeout)
+	}
+	if adm.rejected.Load() != 1 {
+		t.Fatalf("rejected counter = %d", adm.rejected.Load())
+	}
+	// Freeing one slot un-wedges the queue.
+	releases[0]()
+	rel, err := adm.acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	rel()
+	rel() // release is idempotent: a double call must not free a second slot
+	if got := adm.inFlight(); got != slots-1 {
+		t.Fatalf("inFlight after idempotent double release = %d, want %d", got, slots-1)
+	}
+	for _, r := range releases[1:] {
+		r()
+	}
+}
+
+// TestAdmissionQueueDrainsUnderContention hammers a small semaphore from
+// many goroutines (run under -race in CI): every acquire either succeeds
+// and releases, or fails typed; the pool never leaks a slot.
+func TestAdmissionQueueDrainsUnderContention(t *testing.T) {
+	adm := newAdmission(3, 50*time.Millisecond)
+	var wg sync.WaitGroup
+	var ok, rejected atomic.Int64
+	for g := 0; g < 24; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				rel, err := adm.acquire(context.Background())
+				switch err.(type) {
+				case nil:
+					ok.Add(1)
+					time.Sleep(time.Millisecond)
+					rel()
+				case *BackpressureError:
+					rejected.Add(1)
+				default:
+					t.Errorf("unexpected acquire error: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := adm.inFlight(); got != 0 {
+		t.Fatalf("leaked %d slots", got)
+	}
+	if ok.Load() == 0 {
+		t.Fatal("no acquire ever succeeded under contention")
+	}
+	t.Logf("admitted=%d rejected=%d", ok.Load(), rejected.Load())
+}
+
+// TestAdmissionCancelledWaiterLeavesQueue: a waiter whose context dies
+// must return ctx.Err promptly, not consume the full queue timeout.
+func TestAdmissionCancelledWaiterLeavesQueue(t *testing.T) {
+	adm := newAdmission(1, 10*time.Second) // queue timeout long enough to be the failure mode
+	rel, err := adm.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(20 * time.Millisecond); cancel() }()
+	start := time.Now()
+	_, err = adm.acquire(ctx)
+	if err != context.Canceled {
+		t.Fatalf("cancelled waiter error = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("cancelled waiter blocked %v", elapsed)
+	}
+}
+
+// TestServerBackpressureEndToEnd saturates the HTTP server's admission
+// gate with slow streaming queries and asserts (a) queued requests get
+// the typed 429 backpressure error within the queue timeout and (b)
+// cancelling the in-flight streams frees the slots for new queries.
+// Runs under -race in the CI concurrency job.
+func TestServerBackpressureEndToEnd(t *testing.T) {
+	const slots = 2
+	_, ts, _ := newTestServer(t, 400_000, Config{
+		MaxConcurrentQueries: slots,
+		QueueTimeout:         150 * time.Millisecond,
+	})
+	// Occupy every slot with a heavy materializing query whose stream we
+	// deliberately never drain past the first byte.
+	type holder struct {
+		cancel context.CancelFunc
+		resp   *http.Response
+	}
+	var holders []holder
+	heavy, _ := json.Marshal(map[string]any{"sql": "SELECT id, kind, value FROM events ORDER BY value, id"})
+	for i := 0; i < slots; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		req, _ := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/query", bytes.NewReader(heavy))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 1)
+		if _, err := resp.Body.Read(buf); err != nil {
+			t.Fatalf("holder %d stream dead: %v", i, err)
+		}
+		holders = append(holders, holder{cancel, resp})
+	}
+	// Slots full: a new query must come back 429 with the typed error,
+	// and must take at least the queue timeout to do so.
+	small, _ := json.Marshal(map[string]any{"sql": "SELECT COUNT(*) FROM events"})
+	start := time.Now()
+	resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(small))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waited := time.Since(start)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-limit status = %d, want 429", resp.StatusCode)
+	}
+	lines := decodeLines(t, resp.Body)
+	resp.Body.Close()
+	if lines[0]["error_code"] != ErrCodeBackpressure {
+		t.Fatalf("over-limit line = %v", lines[0])
+	}
+	if _, ok := lines[0]["queue_wait_ms"].(float64); !ok {
+		t.Fatalf("backpressure line missing queue_wait_ms: %v", lines[0])
+	}
+	if waited < 100*time.Millisecond {
+		t.Fatalf("rejection arrived in %v — did not queue", waited)
+	}
+	// Cancel the holders mid-stream: cancellation must free both slots.
+	for _, h := range holders {
+		h.cancel()
+		h.resp.Body.Close()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(small))
+		if err != nil {
+			t.Fatal(err)
+		}
+		status := resp.StatusCode
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if status == http.StatusOK {
+			break // a slot came free: cancellation released it
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("slots never freed after mid-stream cancellation (status %d)", status)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -1,0 +1,551 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"datalab"
+)
+
+// syncBuffer is a mutex-guarded log sink: handler goroutines write while
+// the test reads.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// newTestServer builds a server over a demo platform, capturing its JSONL
+// log, and registers cleanup.
+func newTestServer(t *testing.T, rows int, cfg Config) (*Server, *httptest.Server, *syncBuffer) {
+	t.Helper()
+	p := datalab.MustNew()
+	if err := LoadDemo(p, rows); err != nil {
+		t.Fatal(err)
+	}
+	logBuf := &syncBuffer{}
+	srv := New(p, cfg, logBuf)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	return srv, ts, logBuf
+}
+
+// knownCodes is the complete wire vocabulary; every line anywhere must
+// carry one of these.
+var knownCodes = map[string]bool{
+	CodeStartup: true, CodeProgress: true, CodeOK: true, CodeError: true, CodeCancel: true,
+}
+
+// decodeLines parses a JSONL body, failing the test on any malformed line
+// or unknown code, and asserting no *_secret field anywhere survives
+// unredacted.
+func decodeLines(t *testing.T, body io.Reader) []map[string]any {
+	t.Helper()
+	var lines []map[string]any
+	dec := json.NewDecoder(body)
+	for {
+		var l map[string]any
+		if err := dec.Decode(&l); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatalf("malformed JSONL line %d: %v", len(lines)+1, err)
+		}
+		code, _ := l["code"].(string)
+		if !knownCodes[code] {
+			t.Fatalf("line %d: unknown code %q in %v", len(lines)+1, code, l)
+		}
+		assertRedacted(t, l)
+		lines = append(lines, l)
+	}
+	if len(lines) == 0 {
+		t.Fatal("response carried no JSONL lines")
+	}
+	return lines
+}
+
+// assertRedacted walks a decoded line and fails on any *_secret field
+// whose value is not the redaction marker.
+func assertRedacted(t *testing.T, v any) {
+	t.Helper()
+	switch m := v.(type) {
+	case map[string]any:
+		for k, val := range m {
+			if strings.HasSuffix(strings.ToLower(k), "_secret") {
+				if s, _ := val.(string); s != "***" && val != nil {
+					t.Fatalf("unredacted secret field %q = %v", k, val)
+				}
+			}
+			assertRedacted(t, val)
+		}
+	case []any:
+		for _, val := range m {
+			assertRedacted(t, val)
+		}
+	}
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestQueryStreamsValidatedJSONL drives the primary endpoint: a multi-
+// batch query must arrive as startup + N progress + ok, with consistent
+// suffix-named counters and the right row payloads.
+func TestQueryStreamsValidatedJSONL(t *testing.T) {
+	const rows = 5000
+	_, ts, _ := newTestServer(t, rows, Config{})
+	resp := postJSON(t, ts.URL+"/v1/query", map[string]any{"sql": "SELECT id, kind, value FROM events"})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	lines := decodeLines(t, resp.Body)
+	if got := lines[0]["code"]; got != CodeStartup {
+		t.Fatalf("first line code = %v, want startup", got)
+	}
+	if got := lines[0]["rows_total"]; got != float64(rows) {
+		t.Fatalf("startup rows_total = %v, want %d", got, rows)
+	}
+	cols, _ := lines[0]["columns"].([]any)
+	if len(cols) != 3 {
+		t.Fatalf("startup columns = %v", lines[0]["columns"])
+	}
+	last := lines[len(lines)-1]
+	if last["code"] != CodeOK {
+		t.Fatalf("terminal code = %v, want ok", last["code"])
+	}
+	if _, ok := last["duration_ms"].(float64); !ok {
+		t.Fatalf("terminal line missing duration_ms: %v", last)
+	}
+	seen := 0
+	for _, l := range lines[1 : len(lines)-1] {
+		if l["code"] != CodeProgress {
+			t.Fatalf("middle line code = %v, want progress", l["code"])
+		}
+		batchRows := int(l["batch_rows"].(float64))
+		rowsArr, _ := l["rows"].([]any)
+		if len(rowsArr) != batchRows {
+			t.Fatalf("progress batch_rows=%d but %d rows attached", batchRows, len(rowsArr))
+		}
+		seen += batchRows
+		if int(l["rows_sent"].(float64)) != seen {
+			t.Fatalf("rows_sent = %v, want %d", l["rows_sent"], seen)
+		}
+		if _, ok := l["duration_ms"].(float64); !ok {
+			t.Fatalf("progress line missing duration_ms")
+		}
+	}
+	if seen != rows {
+		t.Fatalf("streamed %d rows, want %d", seen, rows)
+	}
+	// Spot-check a cell payload: row 0 is [0, "view", 0].
+	firstRow := lines[1]["rows"].([]any)[0].([]any)
+	if firstRow[0] != float64(0) || firstRow[1] != "view" {
+		t.Fatalf("row 0 = %v", firstRow)
+	}
+}
+
+// TestQueryWithBoundArgs exercises the Prepare/Exec path over the wire.
+func TestQueryWithBoundArgs(t *testing.T) {
+	_, ts, _ := newTestServer(t, 1000, Config{})
+	resp := postJSON(t, ts.URL+"/v1/query", map[string]any{
+		"sql":  "SELECT COUNT(*) AS n FROM events WHERE id < ? AND kind = ?",
+		"args": []any{500, "view"},
+	})
+	defer resp.Body.Close()
+	lines := decodeLines(t, resp.Body)
+	row := lines[1]["rows"].([]any)[0].([]any)
+	n := int(row[0].(float64))
+	want := 0
+	for i := 0; i < 500; i++ {
+		if i%3 == 0 {
+			want++
+		}
+	}
+	if n != want {
+		t.Fatalf("bound COUNT = %d, want %d", n, want)
+	}
+}
+
+// TestQueryErrorLine pins the failure shape: HTTP 400 with one error line
+// carrying error_code=query_failed.
+func TestQueryErrorLine(t *testing.T) {
+	_, ts, _ := newTestServer(t, 10, Config{})
+	resp := postJSON(t, ts.URL+"/v1/query", map[string]any{"sql": "SELECT nope FROM missing"})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	lines := decodeLines(t, resp.Body)
+	if lines[0]["code"] != CodeError || lines[0]["error_code"] != ErrCodeQuery {
+		t.Fatalf("error line = %v", lines[0])
+	}
+}
+
+// TestIngestThenQuery streams JSONL rows in and verifies they are visible
+// (and only publish-batch granular) to queries.
+func TestIngestThenQuery(t *testing.T) {
+	const base, extra = 100, 2500
+	_, ts, _ := newTestServer(t, base, Config{IngestPublishRows: 1000})
+	var body bytes.Buffer
+	for _, r := range DemoRecords(base, extra) {
+		body.WriteString(fmt.Sprintf("[%s, %q, %s]\n", r[0], r[1], r[2]))
+	}
+	resp, err := http.Post(ts.URL+"/v1/ingest/events", "application/x-ndjson", &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	lines := decodeLines(t, resp.Body)
+	last := lines[len(lines)-1]
+	if last["code"] != CodeOK || int(last["rows_appended_total"].(float64)) != extra {
+		t.Fatalf("ingest terminal line = %v", last)
+	}
+	if got := int(last["rows_visible_total"].(float64)); got != base+extra {
+		t.Fatalf("rows_visible_total = %d, want %d", got, base+extra)
+	}
+	// Two publishes at 1000-row boundaries → two progress lines.
+	progress := 0
+	for _, l := range lines {
+		if l["code"] == CodeProgress {
+			progress++
+		}
+	}
+	if progress != extra/1000 {
+		t.Fatalf("progress lines = %d, want %d", progress, extra/1000)
+	}
+	resp2 := postJSON(t, ts.URL+"/v1/query", map[string]any{"sql": "SELECT COUNT(*) FROM events"})
+	defer resp2.Body.Close()
+	qlines := decodeLines(t, resp2.Body)
+	row := qlines[1]["rows"].([]any)[0].([]any)
+	if int(row[0].(float64)) != base+extra {
+		t.Fatalf("post-ingest COUNT = %v, want %d", row[0], base+extra)
+	}
+}
+
+// TestIngestUnknownTable pins the typed not_found error.
+func TestIngestUnknownTable(t *testing.T) {
+	_, ts, _ := newTestServer(t, 10, Config{})
+	resp, err := http.Post(ts.URL+"/v1/ingest/nosuch", "application/x-ndjson", strings.NewReader("[1]\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", resp.StatusCode)
+	}
+	lines := decodeLines(t, resp.Body)
+	if lines[0]["error_code"] != ErrCodeNotFound {
+		t.Fatalf("error line = %v", lines[0])
+	}
+}
+
+// TestCursorPaginationAndRewind drives the server-side cursor lifecycle:
+// create, page to exhaustion, rewind, re-read identically, delete, and
+// observe the defined closed error afterward.
+func TestCursorPaginationAndRewind(t *testing.T) {
+	const rows = 3000
+	_, ts, _ := newTestServer(t, rows, Config{PageRows: 1024})
+	resp := postJSON(t, ts.URL+"/v1/cursors", map[string]any{"sql": "SELECT id FROM events"})
+	defer resp.Body.Close()
+	created := decodeLines(t, resp.Body)[0]
+	if created["code"] != CodeOK {
+		t.Fatalf("create = %v", created)
+	}
+	id := created["cursor_id"].(string)
+	if int(created["rows_total"].(float64)) != rows {
+		t.Fatalf("rows_total = %v", created["rows_total"])
+	}
+
+	readAll := func() []float64 {
+		var got []float64
+		for {
+			r := postJSON(t, ts.URL+"/v1/cursors/"+id+"/next?max_rows=1000", nil)
+			l := decodeLines(t, r.Body)[0]
+			r.Body.Close()
+			if l["code"] != CodeOK {
+				t.Fatalf("next = %v", l)
+			}
+			for _, row := range l["rows"].([]any) {
+				got = append(got, row.([]any)[0].(float64))
+			}
+			if l["cursor_done"].(bool) {
+				return got
+			}
+		}
+	}
+	first := readAll()
+	if len(first) != rows {
+		t.Fatalf("paged %d rows, want %d", len(first), rows)
+	}
+	// Exhausted cursor: another next returns an empty done page, not junk.
+	r := postJSON(t, ts.URL+"/v1/cursors/"+id+"/next", nil)
+	l := decodeLines(t, r.Body)[0]
+	r.Body.Close()
+	if !l["cursor_done"].(bool) || l["rows"] != nil && len(l["rows"].([]any)) != 0 {
+		t.Fatalf("post-exhaustion page = %v", l)
+	}
+	// Rewind → identical second read.
+	r = postJSON(t, ts.URL+"/v1/cursors/"+id+"/rewind", nil)
+	if got := decodeLines(t, r.Body)[0]; got["rewound"] != true {
+		t.Fatalf("rewind = %v", got)
+	}
+	r.Body.Close()
+	second := readAll()
+	if len(second) != rows {
+		t.Fatalf("re-read %d rows, want %d", len(second), rows)
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("row %d diverged after rewind: %v vs %v", i, first[i], second[i])
+		}
+	}
+	// Delete, then every access is a defined error.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/cursors/"+id, nil)
+	dr, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr.Body.Close()
+	r = postJSON(t, ts.URL+"/v1/cursors/"+id+"/next", nil)
+	if r.StatusCode != http.StatusNotFound {
+		t.Fatalf("next after delete status = %d", r.StatusCode)
+	}
+	r.Body.Close()
+}
+
+// TestSessionScopedCancellation pins the multi-session contract: closing
+// a session cancels its in-flight query (observed as a cancel log event,
+// not an error) and closes its cursors.
+func TestSessionScopedCancellation(t *testing.T) {
+	srv, ts, logBuf := newTestServer(t, 200_000, Config{})
+	resp := postJSON(t, ts.URL+"/v1/sessions", nil)
+	sess := decodeLines(t, resp.Body)[0]["session_id"].(string)
+	resp.Body.Close()
+
+	// Park a cursor on the session.
+	resp = postJSON(t, ts.URL+"/v1/cursors", map[string]any{"sql": "SELECT id FROM events", "session_id": sess})
+	cur := decodeLines(t, resp.Body)[0]["cursor_id"].(string)
+	resp.Body.Close()
+
+	// Start a heavy session-scoped query, then close the session while it
+	// streams.
+	started := make(chan struct{})
+	finished := make(chan error, 1)
+	go func() {
+		body, _ := json.Marshal(map[string]any{
+			"sql":        "SELECT id, kind, value FROM events ORDER BY value, id",
+			"session_id": sess,
+		})
+		r, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			close(started)
+			finished <- err
+			return
+		}
+		defer r.Body.Close()
+		buf := make([]byte, 1)
+		_, _ = r.Body.Read(buf) // first byte: the stream is live
+		close(started)
+		_, err = io.Copy(io.Discard, r.Body)
+		finished <- err
+	}()
+	<-started
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/sessions/"+sess, nil)
+	dr, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr.Body.Close()
+	<-finished // stream ended (truncated or complete — the race is real)
+
+	// The session's cursor died with it.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		r := postJSON(t, ts.URL+"/v1/cursors/"+cur+"/next", nil)
+		status := r.StatusCode
+		r.Body.Close()
+		if status == http.StatusNotFound || status == http.StatusConflict {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cursor still alive after session close (status %d)", status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	_ = srv
+	// The log must carry session_close; a canceled query logs cancel, not
+	// error (when the query outpaced the close, there is an ok instead —
+	// but never an error).
+	logs := logBuf.String()
+	if !strings.Contains(logs, `"event":"session_close"`) {
+		t.Fatalf("no session_close event in log:\n%s", logs)
+	}
+	if strings.Contains(logs, `"error_code":"query_failed"`) {
+		t.Fatalf("session cancellation logged as query failure:\n%s", logs)
+	}
+}
+
+// TestClientDisconnectCancelsAndLogsCancel is the mid-stream-disconnect
+// contract: the server observes the dropped connection, aborts the
+// executor, increments queries_canceled_total, and logs a cancel line —
+// never an error line.
+func TestClientDisconnectCancelsAndLogsCancel(t *testing.T) {
+	srv, ts, logBuf := newTestServer(t, 300_000, Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	body, _ := json.Marshal(map[string]any{"sql": "SELECT id, kind, value FROM events"})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/query", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read one chunk so the stream is known to be flowing, then hang up.
+	buf := make([]byte, 4096)
+	if _, err := resp.Body.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	resp.Body.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.queriesCanceled.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("queries_canceled_total never incremented after disconnect")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	logs := logBuf.String()
+	if !strings.Contains(logs, `"code":"cancel"`) || !strings.Contains(logs, `"event":"query_canceled"`) {
+		t.Fatalf("no cancel event in log:\n%s", logs)
+	}
+	if strings.Contains(logs, `"event":"query","error_code"`) {
+		t.Fatalf("disconnect logged as query error:\n%s", logs)
+	}
+}
+
+// TestAuthAndStartupRedaction: with a bearer token configured, /healthz
+// stays open, everything else requires the token, and the startup log
+// line redacts the secret.
+func TestAuthAndStartupRedaction(t *testing.T) {
+	const token = "hunter2-very-secret"
+	_, ts, logBuf := newTestServer(t, 10, Config{AuthTokenSecret: token})
+	r, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("healthz without token = %d", r.StatusCode)
+	}
+	r.Body.Close()
+	r, err = http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("stats without token = %d, want 401", r.StatusCode)
+	}
+	lines := decodeLines(t, r.Body)
+	r.Body.Close()
+	if lines[0]["error_code"] != ErrCodeUnauthorized {
+		t.Fatalf("unauthorized line = %v", lines[0])
+	}
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/stats", nil)
+	req.Header.Set("Authorization", "Bearer "+token)
+	r, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("stats with token = %d", r.StatusCode)
+	}
+	r.Body.Close()
+	logs := logBuf.String()
+	if strings.Contains(logs, token) {
+		t.Fatalf("startup log leaked the auth token:\n%s", logs)
+	}
+	if !strings.Contains(logs, `"auth_token_secret":"***"`) {
+		t.Fatalf("startup log missing redacted secret field:\n%s", logs)
+	}
+}
+
+// TestStatsShape validates /v1/stats carries the suffix-named counters
+// the smoke client and dashboards key on.
+func TestStatsShape(t *testing.T) {
+	_, ts, _ := newTestServer(t, 100, Config{})
+	resp := postJSON(t, ts.URL+"/v1/query", map[string]any{"sql": "SELECT COUNT(*) FROM events"})
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	r, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	st := decodeLines(t, r.Body)[0]
+	for _, k := range []string{
+		"uptime_ms", "queries_total", "queries_canceled_total", "queries_rejected_total",
+		"rows_streamed_total", "ingest_rows_total", "sessions_open", "cursors_open",
+		"plan_cache_hits_total", "plan_cache_hit_rate",
+	} {
+		if _, ok := st[k]; !ok {
+			t.Fatalf("stats missing %q: %v", k, st)
+		}
+	}
+	if st["queries_total"].(float64) < 1 {
+		t.Fatalf("queries_total = %v", st["queries_total"])
+	}
+}
+
+// TestRedact unit-tests the secret scrubber on nested shapes.
+func TestRedact(t *testing.T) {
+	in := map[string]any{
+		"api_key_secret": "sk-123",
+		"nested":         map[string]any{"db_password_secret": "pw", "timeout_s": 30},
+		"list":           []any{map[string]any{"token_secret": "t"}},
+		"plain":          "ok",
+	}
+	out := Redact(in).(map[string]any)
+	if out["api_key_secret"] != "***" {
+		t.Fatalf("top-level secret survived: %v", out)
+	}
+	if out["nested"].(map[string]any)["db_password_secret"] != "***" {
+		t.Fatal("nested secret survived")
+	}
+	if out["list"].([]any)[0].(map[string]any)["token_secret"] != "***" {
+		t.Fatal("secret inside list survived")
+	}
+	if out["plain"] != "ok" || in["api_key_secret"] != "sk-123" {
+		t.Fatal("Redact mutated non-secret data or its input")
+	}
+}

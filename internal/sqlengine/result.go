@@ -1,13 +1,24 @@
 package sqlengine
 
 import (
+	"errors"
+
 	"datalab/internal/table"
 )
 
-// defaultBatchRows is the batch granularity for Result iteration: large
-// enough that per-batch overhead vanishes against cell access, small enough
-// that a batch's working set stays cache-resident.
-const defaultBatchRows = 1024
+// ErrResultClosed is returned by Result.Err (and Result.Rewind) after
+// Close: the cursor's storage references have been released and no further
+// iteration is possible. Next on a closed Result returns nil.
+var ErrResultClosed = errors.New("sqlengine: result is closed")
+
+// BatchRows is the batch granularity for Result iteration: large enough
+// that per-batch overhead vanishes against cell access, small enough that
+// a batch's working set stays cache-resident. Exported so wire protocols
+// can advertise the batch ceiling to clients.
+const BatchRows = 1024
+
+// defaultBatchRows is the internal alias iteration uses.
+const defaultBatchRows = BatchRows
 
 // Result is the typed, batch-iterable handle over a query's columnar
 // result set — the replacement for materializing [][]string. A Result is
@@ -33,6 +44,18 @@ const defaultBatchRows = 1024
 // (Columns, NumRows, Strings) are read-only and do not move the cursor.
 // All columns reachable through a Result are strictly read-only — lazy
 // results share storage with the catalog.
+//
+// The cursor lifecycle is fully defined — long-lived holders like the
+// server's cursor registry depend on every state being pinned:
+//
+//   - exhausted: Next returns nil and keeps returning nil; iterating a
+//     second time requires an explicit Rewind (or the legacy Reset).
+//   - Rewind: rewinds to the first batch. A Result is always rewindable —
+//     lazy results view an immutable pinned snapshot and materialized
+//     results own their storage — so no spill is ever needed.
+//   - Close: releases the column and selection references (un-pinning the
+//     snapshot they held). Next returns nil, Err and Rewind return
+//     ErrResultClosed, Strings returns nil. Close is idempotent.
 type Result struct {
 	names []string
 	cols  []table.Column   // one per output column; lazy mode shares base storage
@@ -43,6 +66,7 @@ type Result struct {
 	emitted int
 	spanIdx int // cursor within span-form selections
 	spanOff int
+	closed  bool
 }
 
 // newTableResult wraps a fully materialized output table.
@@ -81,7 +105,7 @@ func (r *Result) NumRows() int { return r.total }
 // is exhausted. The returned batch (and the storage behind its typed
 // accessors) is only valid until the following Next call.
 func (r *Result) Next() *Batch {
-	if r.emitted >= r.total {
+	if r.closed || r.emitted >= r.total {
 		return nil
 	}
 	n := defaultBatchRows
@@ -111,9 +135,44 @@ func (r *Result) Next() *Batch {
 	return &r.cur
 }
 
-// Reset rewinds the cursor so the result can be iterated again.
-func (r *Result) Reset() {
+// Rewind moves the cursor back to the first batch so the result can be
+// iterated again. It returns ErrResultClosed after Close and nil
+// otherwise (including mid-iteration and after exhaustion).
+func (r *Result) Rewind() error {
+	if r.closed {
+		return ErrResultClosed
+	}
 	r.emitted, r.spanIdx, r.spanOff = 0, 0, 0
+	return nil
+}
+
+// Reset rewinds the cursor so the result can be iterated again. It is a
+// no-op on a closed Result; callers that need to observe that condition
+// should use Rewind.
+func (r *Result) Reset() { _ = r.Rewind() }
+
+// Close releases the cursor's references to its column storage and
+// selection — for lazy results, the pin on the catalog snapshot they were
+// executed against. After Close, Next returns nil, Err and Rewind return
+// ErrResultClosed, and Strings returns nil; Columns and NumRows stay
+// valid. Close is idempotent and always returns nil.
+func (r *Result) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	r.cols, r.sel, r.cur = nil, nil, Batch{}
+	return nil
+}
+
+// Err reports the cursor's terminal condition: ErrResultClosed after
+// Close, nil otherwise. An exhausted-but-open Result is not an error —
+// Next returning nil with Err() == nil means the rows simply ran out.
+func (r *Result) Err() error {
+	if r.closed {
+		return ErrResultClosed
+	}
+	return nil
 }
 
 // fillView points the cursor batch at zero-copy views of rows [lo, hi).
@@ -143,6 +202,9 @@ func (r *Result) fillGather(idx []int) {
 // compatibility path behind the deprecated stringly APIs. NULL cells
 // render as "". It does not move the batch cursor.
 func (r *Result) Strings() [][]string {
+	if r.closed {
+		return nil
+	}
 	rows := make([][]string, 0, r.total)
 	it := table.IterSelection(r.sel, r.total)
 	for {
@@ -159,8 +221,12 @@ func (r *Result) Strings() [][]string {
 	return rows
 }
 
-// Table materializes the result as a table that owns its storage.
+// Table materializes the result as a table that owns its storage. On a
+// closed Result it returns nil (the storage is gone).
 func (r *Result) Table(name string) *table.Table {
+	if r.closed {
+		return nil
+	}
 	out := &table.Table{Name: name, Columns: make([]table.Column, len(r.cols))}
 	for i := range r.cols {
 		if r.sel == nil {
@@ -215,6 +281,14 @@ func (b *Batch) Float64(col, row int) (float64, bool) {
 // String returns the cell rendered as a string; NULL renders as "".
 func (b *Batch) String(col, row int) string {
 	return b.cols[col].Value(row).AsString()
+}
+
+// Value returns the cell as a boxed table.Value — the kind-preserving
+// accessor for generic consumers (wire encoders, differential harnesses)
+// that must distinguish ints, floats, bools, strings, and NULL without
+// probing each typed accessor in turn.
+func (b *Batch) Value(col, row int) table.Value {
+	return b.cols[col].Value(row)
 }
 
 // Int64s returns the batch's int64 slab for one column: values, null

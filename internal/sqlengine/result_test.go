@@ -419,3 +419,88 @@ func TestCancellationMidScan(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 }
+
+// TestResultLifecycle pins the cursor state machine the server's cursor
+// registry depends on: exhaustion is sticky until an explicit Rewind,
+// Rewind replays identical batches in both lazy and materialized modes,
+// and Close is terminal — Next yields nothing, Err/Rewind report
+// ErrResultClosed, Strings/Table degrade to nil, and a second Close is a
+// no-op.
+func TestResultLifecycle(t *testing.T) {
+	c := resultCatalog(3000)
+	for _, q := range []string{
+		"SELECT id, amount FROM facts WHERE qty < 9",       // lazy view mode
+		"SELECT id, amount FROM facts ORDER BY amount, id", // materialized mode
+	} {
+		res, err := c.QueryCtx(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		first := dumpResult(res)
+		// Exhausted, not closed: Next stays nil, Err stays nil.
+		for i := 0; i < 3; i++ {
+			if b := res.Next(); b != nil {
+				t.Fatalf("query %q: Next after exhaustion returned a batch", q)
+			}
+		}
+		if err := res.Err(); err != nil {
+			t.Fatalf("query %q: Err after exhaustion = %v, want nil", q, err)
+		}
+		// Rewind replays the identical result.
+		if err := res.Rewind(); err != nil {
+			t.Fatalf("query %q: Rewind = %v", q, err)
+		}
+		if got := dumpResult(res); got != first {
+			t.Fatalf("query %q: second iteration after Rewind diverged", q)
+		}
+		// Close is terminal and idempotent.
+		if err := res.Close(); err != nil {
+			t.Fatalf("query %q: Close = %v", q, err)
+		}
+		if err := res.Close(); err != nil {
+			t.Fatalf("query %q: second Close = %v", q, err)
+		}
+		if b := res.Next(); b != nil {
+			t.Fatalf("query %q: Next after Close returned a batch", q)
+		}
+		if err := res.Err(); err != ErrResultClosed {
+			t.Fatalf("query %q: Err after Close = %v, want ErrResultClosed", q, err)
+		}
+		if err := res.Rewind(); err != ErrResultClosed {
+			t.Fatalf("query %q: Rewind after Close = %v, want ErrResultClosed", q, err)
+		}
+		if rows := res.Strings(); rows != nil {
+			t.Fatalf("query %q: Strings after Close = %d rows, want nil", q, len(rows))
+		}
+		if tbl := res.Table("x"); tbl != nil {
+			t.Fatalf("query %q: Table after Close != nil", q)
+		}
+		// Metadata survives Close.
+		if res.NumRows() == 0 || len(res.Columns()) != 2 {
+			t.Fatalf("query %q: metadata lost after Close", q)
+		}
+	}
+}
+
+// TestBatchValueAccessor pins the kind-preserving cell accessor wire
+// encoders use: each Kind round-trips, NULL reports as such.
+func TestBatchValueAccessor(t *testing.T) {
+	c := resultCatalog(12)
+	res, err := c.QueryCtx(context.Background(), "SELECT id, region, amount, flag FROM facts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := res.Next()
+	if v := b.Value(0, 5); v.Kind != table.KindInt {
+		t.Fatalf("Value(0,5).Kind = %v, want int", v.Kind)
+	}
+	if v := b.Value(1, 2); v.Kind != table.KindString || v.AsString() != "north" {
+		t.Fatalf("Value(1,2) = %v %q", v.Kind, v.AsString())
+	}
+	if v := b.Value(2, 0); !v.IsNull() { // amount NULL every 11th row
+		t.Fatal("Value(2,0) should be NULL")
+	}
+	if v := b.Value(3, 4); v.Kind != table.KindBool {
+		t.Fatalf("Value(3,4).Kind = %v, want bool", v.Kind)
+	}
+}
