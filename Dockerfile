@@ -16,7 +16,10 @@ RUN CGO_ENABLED=0 go build -trimpath -ldflags="-s -w" -o /out/datalab-server ./c
 FROM scratch
 COPY --from=build /out/datalab-server /datalab-server
 EXPOSE 8080
+# /data holds the write-ahead log and checkpoints; mount a volume there to
+# survive container replacement (compose binds the datalab-data volume).
+VOLUME /data
 HEALTHCHECK --interval=2s --timeout=3s --start-period=5s --retries=15 \
   CMD ["/datalab-server", "-check", "http://localhost:8080/healthz"]
 ENTRYPOINT ["/datalab-server"]
-CMD ["-addr", ":8080"]
+CMD ["-addr", ":8080", "-data", "/data"]

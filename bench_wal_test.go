@@ -1,0 +1,109 @@
+package datalab
+
+// Durability benchmarks, tracked by the CI bench gate under the WAL and
+// Recover families. BenchmarkWALAppend* is the same writer hot path as
+// BenchmarkAppend with a write-ahead log attached under each fsync policy —
+// the delta against BenchmarkAppend is the durability tax, and the gate
+// holds the `interval` and `off` policies within its regression budget.
+// BenchmarkWALRecoverReplay measures the boot-time log replay. Run:
+//
+//	go test -run xxx -bench='WAL|Recover' -benchmem
+
+import (
+	"testing"
+
+	"datalab/internal/table"
+	"datalab/internal/wal"
+)
+
+// benchWALAppend is BenchmarkAppend's loop with rows journaled through a
+// Manager. Checkpointing is disabled so every iteration pays the log write,
+// not an occasional snapshot serialization.
+func benchWALAppend(b *testing.B, policy wal.Policy) {
+	dir := b.TempDir()
+	m, _, err := wal.Open(dir, wal.Options{Fsync: policy, CheckpointBytes: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Close()
+	fresh := func() *table.Appender {
+		app := table.NewAppender(table.MustNew("stream",
+			[]string{"v", "p"}, []table.Kind{table.KindInt, table.KindInt}))
+		if err := m.Track(app); err != nil {
+			b.Fatal(err)
+		}
+		return app
+	}
+	app := fresh()
+	row := []table.Value{table.Int(0), table.Int(0)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		row[0], row[1] = table.Int(int64(i)), table.Int(int64(i&1))
+		if err := app.Append(row); err != nil {
+			b.Fatal(err)
+		}
+		if i%1024 == 1023 {
+			if _, err := app.PublishErr(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		// Bound arena growth on long runs by starting a fresh table.
+		if i%(1<<21) == (1<<21)-1 {
+			b.StopTimer()
+			app = fresh()
+			b.StartTimer()
+		}
+	}
+	if _, err := app.PublishErr(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkWALAppendAlways(b *testing.B)   { benchWALAppend(b, wal.PolicyAlways) }
+func BenchmarkWALAppendInterval(b *testing.B) { benchWALAppend(b, wal.PolicyInterval) }
+func BenchmarkWALAppendOff(b *testing.B)      { benchWALAppend(b, wal.PolicyOff) }
+
+// BenchmarkWALRecoverReplay measures wal.Recover over a fixed 64k-row log:
+// the boot-time cost of rebuilding the catalog from the journal alone (no
+// checkpoint shortcut).
+func BenchmarkWALRecoverReplay(b *testing.B) {
+	const rows = 1 << 16
+	dir := b.TempDir()
+	m, _, err := wal.Open(dir, wal.Options{Fsync: wal.PolicyOff, CheckpointBytes: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	app := table.NewAppender(table.MustNew("stream",
+		[]string{"v", "p"}, []table.Kind{table.KindInt, table.KindInt}))
+	if err := m.Track(app); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < rows; i++ {
+		if err := app.Append([]table.Value{table.Int(int64(i)), table.Int(int64(i & 1))}); err != nil {
+			b.Fatal(err)
+		}
+		if i%1024 == 1023 {
+			if _, err := app.PublishErr(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if _, err := app.PublishErr(); err != nil {
+		b.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec, err := wal.Recover(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rec.RecoveredRows != rows {
+			b.Fatalf("recovered %d rows, want %d", rec.RecoveredRows, rows)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"datalab"
+)
+
+// walSnapshot is the BENCH_wal.json schema: one record per workload,
+// quantifying what durability costs the ingest hot path under each fsync
+// policy against the memory-only baseline, plus how fast a crash recovery
+// replays.
+type walSnapshot struct {
+	Workload        string  `json:"workload"`
+	Rows            int     `json:"rows"`
+	NsPerOp         float64 `json:"ns_per_op"`
+	WALBytes        int64   `json:"wal_bytes"`
+	SnapshotVersion uint64  `json:"snapshot_version"`
+	ReplayMs        float64 `json:"replay_ms"`
+}
+
+// walIngest streams rows into a fresh `events` table on p, publishing
+// every `batch` rows, and returns the per-row cost.
+func walIngest(p *datalab.Platform, rows, batch int) (time.Duration, error) {
+	if err := p.LoadRecords("events", []string{"id", "kind", "value"}, nil); err != nil {
+		return 0, err
+	}
+	in, err := p.Ingest("events")
+	if err != nil {
+		return 0, err
+	}
+	kinds := []string{"view", "click", "buy"}
+	start := time.Now()
+	for i := 0; i < rows; i++ {
+		if err := in.Append(
+			fmt.Sprintf("%d", i),
+			kinds[i%len(kinds)],
+			fmt.Sprintf("%d.5", i%100),
+		); err != nil {
+			return 0, err
+		}
+		if i%batch == batch-1 {
+			if _, err := in.PublishErr(); err != nil {
+				return 0, err
+			}
+		}
+	}
+	if _, err := in.PublishErr(); err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
+}
+
+// walBench measures the durable ingest path: the same append/publish
+// workload against a memory-only platform and against the write-ahead log
+// under each fsync policy, then a recovery replay of the durable state.
+// Every workload cross-checks row visibility with a COUNT(*) probe, so the
+// bench doubles as a correctness check. It writes BENCH_wal.json.
+func walBench(rows int, outPath string) error {
+	if rows < 10_000 {
+		rows = 10_000
+	}
+	const batch = 1024
+	var snaps []walSnapshot
+
+	count := func(p *datalab.Platform) (int, error) {
+		res, err := p.QueryCtx(context.Background(), "SELECT COUNT(*) FROM events")
+		if err != nil {
+			return 0, err
+		}
+		rs := res.Strings()
+		if len(rs) != 1 || len(rs[0]) != 1 {
+			return 0, fmt.Errorf("count probe returned %v", rs)
+		}
+		var n int
+		fmt.Sscanf(rs[0][0], "%d", &n)
+		return n, nil
+	}
+
+	// Baseline: the same workload with no WAL attached.
+	mem := datalab.MustNew()
+	elapsed, err := walIngest(mem, rows, batch)
+	if err != nil {
+		return err
+	}
+	if n, err := count(mem); err != nil || n != rows {
+		return fmt.Errorf("memory baseline: count=%d err=%v, want %d", n, err, rows)
+	}
+	snaps = append(snaps, walSnapshot{
+		Workload: "append_memory",
+		Rows:     rows,
+		NsPerOp:  float64(elapsed.Nanoseconds()) / float64(rows),
+	})
+	fmt.Printf("memory-only:     %d rows  (%v/row)\n", rows, elapsed/time.Duration(rows))
+
+	// One durable run per fsync policy. The `always` directory is kept for
+	// the recovery workload; the rest are discarded.
+	tmp, err := os.MkdirTemp("", "datalab-bench-wal-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+	var alwaysDir string
+	for _, policy := range []string{"always", "interval", "off"} {
+		dir := filepath.Join(tmp, policy)
+		p, err := datalab.OpenDurable(dir, datalab.DurabilityOptions{Fsync: policy})
+		if err != nil {
+			return err
+		}
+		elapsed, err := walIngest(p, rows, batch)
+		if err != nil {
+			p.Close()
+			return err
+		}
+		if n, err := count(p); err != nil || n != rows {
+			p.Close()
+			return fmt.Errorf("fsync=%s: count=%d err=%v, want %d", policy, n, err, rows)
+		}
+		st := p.DurabilityStats()
+		if err := p.Close(); err != nil {
+			return err
+		}
+		snaps = append(snaps, walSnapshot{
+			Workload:        "append_fsync_" + policy,
+			Rows:            rows,
+			NsPerOp:         float64(elapsed.Nanoseconds()) / float64(rows),
+			WALBytes:        st.WALBytes,
+			SnapshotVersion: st.SnapshotVersion,
+		})
+		fmt.Printf("fsync=%-8s  %d rows -> %d WAL bytes, version %d  (%v/row)\n",
+			policy+":", rows, st.WALBytes, st.SnapshotVersion, elapsed/time.Duration(rows))
+		if policy == "always" {
+			alwaysDir = dir
+		}
+	}
+
+	// Recovery replay: reopen the fsync=always directory and let the WAL
+	// rebuild the catalog; the replay must surface every row.
+	p, err := datalab.OpenDurable(alwaysDir, datalab.DurabilityOptions{})
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+	st := p.DurabilityStats()
+	if st.RecoveredRows != int64(rows) {
+		return fmt.Errorf("recovery replayed %d rows, want %d", st.RecoveredRows, rows)
+	}
+	if n, err := count(p); err != nil || n != rows {
+		return fmt.Errorf("recovered count=%d err=%v, want %d", n, err, rows)
+	}
+	snaps = append(snaps, walSnapshot{
+		Workload:        "recover_replay",
+		Rows:            int(st.RecoveredRows),
+		NsPerOp:         float64(st.ReplayDuration.Nanoseconds()) / float64(st.RecoveredRows),
+		WALBytes:        st.WALBytes,
+		SnapshotVersion: st.SnapshotVersion,
+		ReplayMs:        float64(st.ReplayDuration.Microseconds()) / 1000,
+	})
+	fmt.Printf("recover:         %d rows replayed in %v  (%v/row)\n",
+		st.RecoveredRows, st.ReplayDuration, st.ReplayDuration/time.Duration(st.RecoveredRows))
+
+	data, err := json.MarshalIndent(snaps, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("snapshot:        %s\n", outPath)
+	return nil
+}

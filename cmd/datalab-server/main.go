@@ -10,6 +10,14 @@
 //
 //	datalab-server -addr :8080 -demo-rows 100000
 //
+// With -data the catalog is durable: every registration and published
+// chunk is journaled to a write-ahead log in that directory (fsync
+// policy via -fsync), and boot recovers the exact pre-crash state,
+// reported on a startup JSONL line with recovered_rows_total and
+// replay_duration_ms. Without -data the catalog is memory-only.
+//
+//	datalab-server -addr :8080 -demo-rows 100000 -data /data -fsync always
+//
 // The bearer token, when required, comes from the DATALAB_AUTH_TOKEN_SECRET
 // environment variable (the _secret suffix is the redaction contract).
 //
@@ -41,6 +49,9 @@ func main() {
 	queueTimeout := flag.Duration("queue-timeout", time.Second, "how long an over-limit query queues before a typed backpressure rejection")
 	sessionIdle := flag.Duration("session-idle", 15*time.Minute, "idle TTL after which sessions are swept")
 	pageRows := flag.Int("page-rows", 4096, "default cursor page size in rows")
+	dataDir := flag.String("data", "", "data directory for the write-ahead log; empty = memory-only (rows lost on restart)")
+	fsync := flag.String("fsync", "always", "WAL fsync policy: always, interval, or off")
+	checkpointBytes := flag.Int64("checkpoint-bytes", 0, "WAL bytes between automatic checkpoints (0 = 64MiB default, negative disables)")
 	check := flag.String("check", "", "health-probe mode: GET this URL, exit 0 on ok (Docker HEALTHCHECK)")
 	flag.Parse()
 
@@ -48,8 +59,29 @@ func main() {
 		os.Exit(probe(*check))
 	}
 
-	p := datalab.MustNew()
-	if *demoRows > 0 {
+	var p *datalab.Platform
+	if *dataDir != "" {
+		start := time.Now()
+		var err error
+		p, err = datalab.OpenDurable(*dataDir, datalab.DurabilityOptions{
+			Fsync:           *fsync,
+			CheckpointBytes: *checkpointBytes,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, `{"code":"error","event":"recovery","error":%q}`+"\n", err.Error())
+			os.Exit(1)
+		}
+		ds := p.DurabilityStats()
+		fmt.Printf(`{"code":"startup","event":"recovery","data_dir":%q,"fsync":%q,"recovered_rows_total":%d,"recovered_tables":%d,"snapshot_version":%d,"replay_duration_ms":%.3f,"open_duration_ms":%.3f}`+"\n",
+			*dataDir, *fsync, ds.RecoveredRows, len(p.Tables()), ds.SnapshotVersion,
+			float64(ds.ReplayDuration.Microseconds())/1000, float64(time.Since(start).Microseconds())/1000)
+	} else {
+		p = datalab.MustNew()
+	}
+	defer p.Close()
+	if *demoRows > 0 && !hasTable(p, "events") {
+		// A recovered catalog already holds the durable events table;
+		// re-registering the demo would wipe it with fresh rows.
 		if err := server.LoadDemo(p, *demoRows); err != nil {
 			fmt.Fprintf(os.Stderr, `{"code":"error","error":%q}`+"\n", err.Error())
 			os.Exit(1)
@@ -85,6 +117,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, `{"code":"error","event":"shutdown","error":%q}`+"\n", err.Error())
 	}
 	fmt.Println(`{"code":"ok","event":"shutdown"}`)
+}
+
+func hasTable(p *datalab.Platform, name string) bool {
+	for _, t := range p.Tables() {
+		if t == name {
+			return true
+		}
+	}
+	return false
 }
 
 // probe GETs a health URL and reports via exit status, printing the

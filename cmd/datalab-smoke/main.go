@@ -16,6 +16,12 @@
 //
 // Exit status 0 means every scenario passed; any protocol violation or
 // failed expectation exits 1 with one JSONL error line per finding.
+//
+// With -crash prepare|verify the client instead runs one half of the
+// crash-recovery scenario (see crash.go): prepare ingests a large durable
+// workload and records ground-truth query results; after the harness
+// SIGKILLs and restarts the server, verify asserts the recovered state is
+// byte-identical.
 package main
 
 import (
@@ -33,11 +39,14 @@ import (
 )
 
 var (
-	baseURL  = flag.String("url", "http://localhost:8080", "server base URL")
-	rows     = flag.Int("rows", 100_000, "expected demo table row count")
-	flood    = flag.Int("flood", 8, "concurrent heavy queries for the backpressure scenario")
-	waitFor  = flag.Duration("wait", 60*time.Second, "how long to wait for the server to become healthy")
-	failures int
+	baseURL   = flag.String("url", "http://localhost:8080", "server base URL")
+	rows      = flag.Int("rows", 100_000, "expected demo table row count")
+	flood     = flag.Int("flood", 8, "concurrent heavy queries for the backpressure scenario")
+	waitFor   = flag.Duration("wait", 60*time.Second, "how long to wait for the server to become healthy")
+	crashMode = flag.String("crash", "", "crash-recovery phase: `prepare` (ingest + record ground truth) or `verify` (assert recovery); empty runs the standard scenarios")
+	crashRows = flag.Int("crash-rows", 100_000, "rows to ingest in the -crash prepare phase")
+	statePath = flag.String("state", "smoke-crash-state.json", "ground-truth state file shared between -crash prepare and verify")
+	failures  int
 )
 
 func failf(format string, args ...any) {
@@ -434,6 +443,21 @@ func statValue(field string) float64 {
 	return num(l[field])
 }
 
+// statBool fetches one boolean field from /v1/stats (false on failure).
+func statBool(field string) bool {
+	resp, err := do(http.MethodGet, "/v1/stats", nil, "")
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	var l map[string]any
+	if json.NewDecoder(resp.Body).Decode(&l) != nil {
+		return false
+	}
+	b, _ := l[field].(bool)
+	return b
+}
+
 func num(v any) float64 {
 	f, _ := v.(float64)
 	return f
@@ -443,6 +467,24 @@ func main() {
 	flag.Parse()
 	if !waitHealthy() {
 		os.Exit(1)
+	}
+	switch *crashMode {
+	case "":
+		// fall through to the standard five scenarios
+	case "prepare", "verify":
+		if *crashMode == "prepare" {
+			crashPrepare(*crashRows, *statePath)
+		} else {
+			crashVerify(*statePath)
+		}
+		if failures > 0 {
+			fmt.Printf(`{"code":"error","error":"crash %s failed","failures_total":%d}`+"\n", *crashMode, failures)
+			os.Exit(1)
+		}
+		return
+	default:
+		fmt.Printf(`{"code":"error","error":"unknown -crash mode %q (want prepare or verify)"}`+"\n", *crashMode)
+		os.Exit(2)
 	}
 	scenarioQueryStream()
 	scenarioIngest()

@@ -13,6 +13,7 @@ import (
 	"datalab/internal/llm"
 	"datalab/internal/sqlengine"
 	"datalab/internal/table"
+	"datalab/internal/wal"
 )
 
 // Option configures a Platform.
@@ -47,6 +48,11 @@ func WithSeed(seed string) Option {
 type Platform struct {
 	client  *llm.Client
 	catalog *sqlengine.Catalog
+
+	// wal and recovered are set only by OpenDurable: the write-ahead
+	// log backing the catalog, and what boot-time recovery rebuilt.
+	wal       *wal.Manager
+	recovered *wal.Recovered
 
 	mu      sync.RWMutex // guards graph, rt, history
 	graph   *knowledge.Graph
@@ -88,8 +94,7 @@ func (p *Platform) LoadCSV(name string, r io.Reader) error {
 	if err != nil {
 		return err
 	}
-	p.catalog.Register(t)
-	return nil
+	return p.catalog.RegisterErr(t)
 }
 
 // LoadRecords registers an in-memory dataset: a header row plus string
@@ -123,8 +128,7 @@ func (p *Platform) LoadRecords(name string, columns []string, rows [][]string) e
 			return err
 		}
 	}
-	p.catalog.Register(t)
-	return nil
+	return p.catalog.RegisterErr(t)
 }
 
 // AppendRecords appends string records to an already-registered table and
@@ -142,8 +146,8 @@ func (p *Platform) AppendRecords(name string, rows [][]string) error {
 			return err
 		}
 	}
-	in.Publish()
-	return nil
+	_, err = in.PublishErr()
+	return err
 }
 
 // Ingestor is a streaming append handle for one registered table. Appended
@@ -182,8 +186,18 @@ func (in *Ingestor) Pending() int { return in.app.Pending() }
 
 // Publish seals the staged rows into a new immutable chunk and atomically
 // publishes the snapshot that includes them, returning the total row count
-// now visible to new queries.
+// now visible to new queries. On a durable platform a log failure leaves
+// the rows staged; use PublishErr to observe it.
 func (in *Ingestor) Publish() int { return in.app.Publish().NumRows() }
+
+// PublishErr is Publish with the durability error surfaced: on a durable
+// platform the staged chunk is journaled and (under the "always" policy)
+// fsynced before any query can observe it, and a log failure keeps the
+// rows staged and invisible rather than half-applying them.
+func (in *Ingestor) PublishErr() (int, error) {
+	s, err := in.app.PublishErr()
+	return s.NumRows(), err
+}
 
 // Tables lists registered table names.
 func (p *Platform) Tables() []string { return p.catalog.TableNames() }

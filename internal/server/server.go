@@ -223,10 +223,13 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	pcs := s.platform.PlanCacheStats()
+	ds := s.platform.DurabilityStats()
 	s.cursorMu.Lock()
 	cursorsOpen := len(s.cursors)
 	s.cursorMu.Unlock()
 	w.Header().Set("Content-Type", "application/x-ndjson")
+	// The durability fields are always present (zeros when memory-only)
+	// so clients can pin the shape without probing the deployment mode.
 	_ = newLineWriter(w).write(line{
 		"code":                    CodeOK,
 		"uptime_ms":               durationMS(time.Since(s.started)),
@@ -243,6 +246,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"plan_cache_hits_total":   pcs.Hits,
 		"plan_cache_misses_total": pcs.Misses,
 		"plan_cache_hit_rate":     pcs.HitRate(),
+		"durability_enabled":      ds.Enabled,
+		"wal_bytes_total":         ds.WALBytes,
+		"checkpoints_total":       ds.Checkpoints,
+		"checkpoint_epoch_ms":     ds.LastCheckpointUnixMilli,
+		"snapshot_version":        ds.SnapshotVersion,
+		"recovered_rows_total":    ds.RecoveredRows,
 	})
 }
 
@@ -469,17 +478,38 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		_ = lw.write(l)
 	}
 	dec := json.NewDecoder(r.Body)
-	publish := func() {
-		if ing.Pending() > 0 {
-			visible = ing.Publish()
+	// On a durable platform Publish journals (and under the "always"
+	// policy fsyncs) the chunk before it becomes visible; a log failure
+	// keeps the rows staged and must surface as an internal error, not
+	// be reported as appended-and-visible.
+	walFail := func(err error) {
+		l := line{"code": CodeError, "error": err.Error(), "error_code": ErrCodeInternal,
+			"rows_appended_total": appended, "rows_visible_total": visible}
+		if !streamed {
+			w.WriteHeader(http.StatusInternalServerError)
 		}
+		_ = lw.write(l)
+	}
+	publish := func() error {
+		if ing.Pending() == 0 {
+			return nil
+		}
+		n, err := ing.PublishErr()
+		if err != nil {
+			return err
+		}
+		visible = n
+		return nil
 	}
 	for {
 		var cells []any
 		if err := dec.Decode(&cells); err == io.EOF {
 			break
 		} else if err != nil {
-			publish() // rows already staged stay consistent: publish what we have
+			if perr := publish(); perr != nil { // rows already staged stay consistent: publish what we have
+				walFail(perr)
+				return
+			}
 			fail(fmt.Sprintf("ingest line %d: %v", appended+1, err))
 			return
 		}
@@ -488,13 +518,19 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			strs[i] = cellString(c)
 		}
 		if err := ing.Append(strs...); err != nil {
-			publish()
+			if perr := publish(); perr != nil {
+				walFail(perr)
+				return
+			}
 			fail(err.Error())
 			return
 		}
 		appended++
 		if fullDuplex && appended%s.cfg.IngestPublishRows == 0 {
-			visible = ing.Publish()
+			if err := publish(); err != nil {
+				walFail(err)
+				return
+			}
 			streamed = true
 			_ = lw.write(line{
 				"code":                CodeProgress,
@@ -504,7 +540,10 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			})
 		}
 	}
-	publish()
+	if err := publish(); err != nil {
+		walFail(err)
+		return
+	}
 	s.ingestRows.Add(int64(appended))
 	_ = lw.write(line{
 		"code":                CodeOK,

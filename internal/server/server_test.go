@@ -517,6 +517,8 @@ func TestStatsShape(t *testing.T) {
 		"uptime_ms", "queries_total", "queries_canceled_total", "queries_rejected_total",
 		"rows_streamed_total", "ingest_rows_total", "sessions_open", "cursors_open",
 		"plan_cache_hits_total", "plan_cache_hit_rate",
+		"durability_enabled", "wal_bytes_total", "checkpoints_total",
+		"checkpoint_epoch_ms", "snapshot_version", "recovered_rows_total",
 	} {
 		if _, ok := st[k]; !ok {
 			t.Fatalf("stats missing %q: %v", k, st)
@@ -524,6 +526,99 @@ func TestStatsShape(t *testing.T) {
 	}
 	if st["queries_total"].(float64) < 1 {
 		t.Fatalf("queries_total = %v", st["queries_total"])
+	}
+	// Memory-only server: durability fields present but zeroed.
+	if st["durability_enabled"] != false || st["wal_bytes_total"].(float64) != 0 {
+		t.Fatalf("memory-only durability stats: enabled=%v wal_bytes=%v",
+			st["durability_enabled"], st["wal_bytes_total"])
+	}
+}
+
+// TestDurableServerRestart runs the crash-recovery loop in-process: a
+// durable server ingests over HTTP, is torn down without any graceful
+// catalog handoff, and a second server over the same data directory must
+// serve byte-identical query results with matching snapshot_version.
+func TestDurableServerRestart(t *testing.T) {
+	dir := t.TempDir()
+	open := func() (*datalab.Platform, *httptest.Server, *Server) {
+		p, err := datalab.OpenDurable(dir, datalab.DurabilityOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := New(p, Config{}, io.Discard)
+		ts := httptest.NewServer(srv.Handler())
+		return p, ts, srv
+	}
+
+	p1, ts1, srv1 := open()
+	if err := LoadDemo(p1, 500); err != nil {
+		t.Fatal(err)
+	}
+	body := &bytes.Buffer{}
+	for i := 0; i < 300; i++ {
+		fmt.Fprintf(body, "[%d, \"extra\", %g]\n", 100000+i, float64(i))
+	}
+	resp, err := http.Post(ts1.URL+"/v1/ingest/events", "application/x-ndjson", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := decodeLines(t, resp.Body)
+	resp.Body.Close()
+	if last := lines[len(lines)-1]; last["code"] != CodeOK || last["rows_appended_total"].(float64) != 300 {
+		t.Fatalf("ingest terminal line: %v", last)
+	}
+
+	const probe = "SELECT kind, COUNT(*), SUM(value) FROM events GROUP BY kind ORDER BY kind"
+	// queryBody canonicalizes the response stream: every line, in order,
+	// with only the timing fields dropped — so data, row order, batch
+	// structure, and codes must all match across the restart.
+	queryBody := func(ts *httptest.Server) string {
+		r := postJSON(t, ts.URL+"/v1/query", map[string]any{"sql": probe})
+		defer r.Body.Close()
+		var out []byte
+		for _, l := range decodeLines(t, r.Body) {
+			delete(l, "duration_ms")
+			b, err := json.Marshal(l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(append(out, b...), '\n')
+		}
+		return string(out)
+	}
+	statsLine := func(ts *httptest.Server) map[string]any {
+		r, err := http.Get(ts.URL + "/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Body.Close()
+		return decodeLines(t, r.Body)[0]
+	}
+
+	want := queryBody(ts1)
+	st1 := statsLine(ts1)
+	if st1["durability_enabled"] != true || st1["wal_bytes_total"].(float64) == 0 {
+		t.Fatalf("durable server stats: %v", st1)
+	}
+	// Tear down abruptly: no checkpoint, no graceful catalog handoff —
+	// recovery must come from the log alone.
+	ts1.Close()
+	srv1.Close()
+	if err := p1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	p2, ts2, srv2 := open()
+	defer func() { ts2.Close(); srv2.Close(); p2.Close() }()
+	if got := queryBody(ts2); got != want {
+		t.Fatalf("recovered query diverged:\nwant %s\ngot  %s", want, got)
+	}
+	st2 := statsLine(ts2)
+	if st2["snapshot_version"] != st1["snapshot_version"] {
+		t.Fatalf("snapshot_version %v -> %v across restart", st1["snapshot_version"], st2["snapshot_version"])
+	}
+	if st2["recovered_rows_total"].(float64) != 800 {
+		t.Fatalf("recovered_rows_total = %v, want 800", st2["recovered_rows_total"])
 	}
 }
 

@@ -49,6 +49,10 @@ const (
 	ErrCodeUnauthorized = "unauthorized"
 	// ErrCodeClosed: the cursor or session was already closed.
 	ErrCodeClosed = "closed"
+	// ErrCodeInternal: a server-side invariant failed — e.g. the
+	// write-ahead log rejected a publish, leaving the rows staged but
+	// not visible.
+	ErrCodeInternal = "internal"
 )
 
 // line is one JSONL wire line: code plus suffix-named fields.

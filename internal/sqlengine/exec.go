@@ -21,9 +21,18 @@ type Catalog struct {
 	mu     sync.RWMutex
 	tables map[string]*table.Appender
 	order  []string
+	reg    RegisterHook
 
 	plans *planCache
 }
+
+// RegisterHook observes table registrations for durability layers. The
+// catalog calls it with the freshly built appender before the table
+// becomes visible to queries; a non-nil error aborts the registration
+// (the previous table, if any, stays in place). The hook is responsible
+// for logging the registration and installing the appender's publish
+// hook so subsequent chunk seals are durable too.
+type RegisterHook func(app *table.Appender) error
 
 // NewCatalog returns an empty catalog.
 func NewCatalog() *Catalog {
@@ -38,9 +47,44 @@ func NewCatalog() *Catalog {
 // callers comparing Prepared results across a schema change deserve a
 // clean slate, and the invalidation is observable via PlanCacheStats.
 func (c *Catalog) Register(t *table.Table) {
+	c.RegisterErr(t) //nolint:errcheck // memory-only catalogs never fail; durable callers use RegisterErr
+}
+
+// RegisterErr is Register with the durability error surfaced: when a
+// register hook is installed (a durable catalog) and it fails to make the
+// registration durable, the catalog is left unchanged and the error is
+// reported. Memory-only catalogs never return an error.
+func (c *Catalog) RegisterErr(t *table.Table) error {
 	app := table.NewAppender(t)
+	c.mu.RLock()
+	hook := c.reg
+	c.mu.RUnlock()
+	if hook != nil {
+		if err := hook(app); err != nil {
+			return err
+		}
+	}
+	return c.registerAppender(app)
+}
+
+// RegisterAppender adopts an existing write head under its own name —
+// the recovery path: WAL replay rebuilds appenders at their recovered
+// snapshot versions and hands them to the catalog without re-logging.
+func (c *Catalog) RegisterAppender(app *table.Appender) {
+	c.registerAppender(app) //nolint:errcheck // always nil today; signature shared with RegisterErr
+}
+
+// SetRegisterHook installs (or, with nil, removes) the durability hook
+// called by every subsequent Register/RegisterErr.
+func (c *Catalog) SetRegisterHook(h RegisterHook) {
 	c.mu.Lock()
-	key := strings.ToLower(t.Name)
+	c.reg = h
+	c.mu.Unlock()
+}
+
+func (c *Catalog) registerAppender(app *table.Appender) error {
+	c.mu.Lock()
+	key := strings.ToLower(app.Name())
 	prev, exists := c.tables[key]
 	if !exists {
 		c.order = append(c.order, key)
@@ -50,6 +94,7 @@ func (c *Catalog) Register(t *table.Table) {
 	if exists && !sameSchema(prev.Snapshot(), app.Snapshot()) {
 		c.plans.invalidate()
 	}
+	return nil
 }
 
 func sameSchema(a, b *table.Snapshot) bool {
@@ -125,8 +170,8 @@ func (c *Catalog) Append(name string, rows ...[]table.Value) error {
 	if err := a.Append(rows...); err != nil {
 		return err
 	}
-	a.Publish()
-	return nil
+	_, err := a.PublishErr()
+	return err
 }
 
 // Freeze returns a new catalog pinned to the snapshot every table is

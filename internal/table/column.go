@@ -68,6 +68,14 @@ func ColumnFromBools(name string, vals []bool, nulls []bool) Column {
 	return Column{Name: name, Kind: KindBool, length: len(vals), bools: vals, nulls: nulls}
 }
 
+// ColumnFromTimes builds a timestamp column from raw storage (adopted).
+func ColumnFromTimes(name string, vals []time.Time, nulls []bool) Column {
+	if nulls == nil {
+		nulls = make([]bool, len(vals))
+	}
+	return Column{Name: name, Kind: KindTime, length: len(vals), times: vals, nulls: nulls}
+}
+
 // ColumnOf builds a column of the given kind from boxed values. Values of
 // mismatched kinds degrade the column to boxed storage, preserving them
 // exactly.

@@ -87,6 +87,16 @@ func (s *Snapshot) Schema() ([]string, []Kind) {
 	return names, kinds
 }
 
+// PublishHook observes chunk seals for durability layers. Publish calls
+// the hook exactly once per chunk it is about to seal — before the new
+// snapshot becomes visible to readers — with the table name, the version
+// the publish will create, and the chunk contents (a read-only view of
+// the arena). A non-nil error aborts the publish: nothing is sealed, the
+// staged rows stay pending and invisible, and the same rows are retried
+// by the next Publish. That ordering is what makes the hook a write-ahead
+// commit point: a chunk is durable before any reader can observe it.
+type PublishHook func(table string, version uint64, ck *Chunk) error
+
 // Appender is a table's write head: it owns the column arena, batches
 // incoming rows into a pending (unpublished) chunk, and publishes
 // immutable snapshots. Appends and publishes are serialized by the
@@ -103,6 +113,7 @@ type Appender struct {
 	name   string
 	sealed int     // rows covered by the current snapshot
 	chunks []Chunk // sealed chunks; snapshots share prefixes of this slice
+	hook   PublishHook
 
 	version uint64
 	cur     atomic.Pointer[Snapshot]
@@ -126,6 +137,26 @@ func (a *Appender) Name() string { return a.name }
 
 // Snapshot returns the current published snapshot without locking.
 func (a *Appender) Snapshot() *Snapshot { return a.cur.Load() }
+
+// SetPublishHook installs (or, with nil, removes) the durability hook
+// called by every subsequent Publish. The snapshot already published is
+// unaffected — only chunks sealed after this call flow through the hook.
+func (a *Appender) SetPublishHook(h PublishHook) {
+	a.mu.Lock()
+	a.hook = h
+	a.mu.Unlock()
+}
+
+// Barrier acquires and releases the append mutex, returning only after
+// any publish in flight at the time of the call has completed. Durability
+// checkpoints use it to order their state capture after every log record
+// already written: a chunk logged before the barrier is guaranteed
+// visible to Snapshot afterwards.
+func (a *Appender) Barrier() {
+	a.mu.Lock()
+	//lint:ignore SA2001 the empty critical section is the point: the lock/unlock pair is the happens-before edge itself
+	a.mu.Unlock()
+}
 
 // Kinds returns the declared column kinds.
 func (a *Appender) Kinds() []Kind {
@@ -186,25 +217,74 @@ func (a *Appender) AppendTable(t *Table) error {
 	return nil
 }
 
+// AppendTableExact bulk-appends every row of t preserving each cell's
+// stored kind exactly: no coercion to the arena's column kinds. Same-kind
+// typed columns still copy slab-at-a-time; mismatched or boxed columns go
+// cell-at-a-time with the raw cell value, degrading the arena column to
+// boxed storage when kinds differ — exactly reproducing the state the
+// source column was in. WAL replay depends on this: a mixed-kind column
+// logged from a degraded arena must come back byte-for-byte, not coerced
+// into nulls.
+func (a *Appender) AppendTableExact(t *Table) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(t.Columns) != len(a.arena) {
+		return fmt.Errorf("table %s: append table with %d columns to %d columns", a.name, len(t.Columns), len(a.arena))
+	}
+	for i := range a.arena {
+		src := &t.Columns[i]
+		if src.IsTyped() && a.arena[i].IsTyped() && src.Kind == a.arena[i].Kind {
+			a.arena[i].AppendColumn(src)
+			continue
+		}
+		for r := 0; r < src.Len(); r++ {
+			a.arena[i].Append(src.Value(r))
+		}
+	}
+	return nil
+}
+
 // Publish seals the pending rows into a new chunk and atomically swaps in
 // a snapshot covering every sealed row. With no pending rows it returns
 // the current snapshot unchanged. Publication is O(columns): the new
 // snapshot's columns are prefix views of the arena, not copies.
+//
+// On an appender with a publish hook (a durable table), a hook failure
+// leaves the staged rows pending and returns the unchanged current
+// snapshot; use PublishErr to observe the error.
 func (a *Appender) Publish() *Snapshot {
+	s, _ := a.PublishErr()
+	return s
+}
+
+// PublishErr is Publish with the durability error surfaced: when the
+// publish hook rejects the commit (for example an fsync failure), the
+// pending rows stay staged and invisible, the current snapshot is
+// returned unchanged, and the hook's error is reported. Memory-only
+// appenders never return an error.
+func (a *Appender) PublishErr() (*Snapshot, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.publishLocked()
 }
 
-func (a *Appender) publishLocked() *Snapshot {
+func (a *Appender) publishLocked() (*Snapshot, error) {
 	n := a.rowsLocked()
 	if cur := a.cur.Load(); cur != nil && n == a.sealed {
-		return cur
+		return cur, nil
 	}
 	if n > a.sealed {
 		ck := Chunk{lo: a.sealed, hi: n, cols: make([]Column, len(a.arena))}
 		for i := range a.arena {
 			ck.cols[i] = a.arena[i].View(a.sealed, n)
+		}
+		// Write-ahead commit point: the chunk must be durable before any
+		// reader can observe the snapshot that contains it. On hook error
+		// nothing below runs — the rows stay pending for a retry.
+		if a.hook != nil {
+			if err := a.hook(a.name, a.version+1, &ck); err != nil {
+				return a.cur.Load(), err
+			}
 		}
 		// Appending to a.chunks never disturbs older snapshots: they hold
 		// shorter prefixes of this slice, and growth either writes past
@@ -223,5 +303,5 @@ func (a *Appender) publishLocked() *Snapshot {
 		s.tbl.Columns[i] = a.arena[i].View(0, n)
 	}
 	a.cur.Store(s)
-	return s
+	return s, nil
 }
