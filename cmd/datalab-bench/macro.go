@@ -1,0 +1,269 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"datalab/internal/benchgen"
+	"datalab/internal/notebook"
+	"datalab/internal/sqlengine"
+	"datalab/internal/table"
+)
+
+// macroSnapshot is the BENCH_macro.json schema: one record per generator
+// workload, capturing how many synthesized statements executed through
+// QueryCtx and at what per-query cost. The macro bench closes the loop
+// between the paper-side workload generators (internal/benchgen) and the
+// engine: every statement the generators emit must parse and execute, so
+// the trajectory doubles as an end-to-end compatibility gate.
+type macroSnapshot struct {
+	Workload  string  `json:"workload"`
+	Generator string  `json:"generator"`
+	Tables    int     `json:"tables"`
+	Queries   int     `json:"queries"`
+	Rows      int     `json:"rows_returned"`
+	NsPerOp   float64 `json:"ns_per_op"`
+}
+
+// bq backtick-quotes an identifier. Enterprise warehouse tables have
+// digit-leading names (`20_business_tab_00`), which are legal identifiers
+// only when quoted.
+func bq(ident string) string { return "`" + ident + "`" }
+
+// drain executes one statement through QueryCtx and returns the number of
+// result rows it produced.
+func drain(ctx context.Context, cat *sqlengine.Catalog, q string) (int, error) {
+	res, err := cat.QueryCtx(ctx, q)
+	if err != nil {
+		return 0, fmt.Errorf("%w\n  in: %s", err, q)
+	}
+	rows := 0
+	for b := res.Next(); b != nil; b = res.Next() {
+		rows += b.NumRows()
+	}
+	return rows, nil
+}
+
+// enterpriseQueries synthesizes the rollup mix for one warehouse table
+// from its schema alone (the bench sees the same cryptic surface an
+// analyst would): a grouped rollup per string dimension, a ranking window
+// over the leading measure, a searched-CASE banding, and a
+// scalar-subquery filter against the table's own average.
+func enterpriseQueries(et benchgen.EnterpriseTable) []string {
+	var dims, nums []string
+	for _, c := range et.Schema.Columns {
+		switch c.Type {
+		case "string":
+			dims = append(dims, c.Name)
+		case "double", "bigint":
+			nums = append(nums, c.Name)
+		}
+	}
+	if len(dims) == 0 || len(nums) == 0 {
+		return nil
+	}
+	t, d, m := bq(et.Schema.Name), dims[0], nums[0]
+	// Prefer a double measure for the banding threshold; measures are
+	// synthesized in [100, 10000), so 5000 splits the population.
+	for _, c := range et.Schema.Columns {
+		if c.Type == "double" {
+			m = c.Name
+			break
+		}
+	}
+	qs := []string{
+		fmt.Sprintf("SELECT %s, COUNT(*) AS n, SUM(%s) FROM %s GROUP BY %s ORDER BY n DESC", d, m, t, d),
+		fmt.Sprintf("SELECT %s, %s, RANK() OVER (PARTITION BY %s ORDER BY %s DESC) FROM %s", d, m, d, m, t),
+		fmt.Sprintf("SELECT %s, CASE WHEN %s > 5000.0 THEN 'high' ELSE 'low' END FROM %s", d, m, t),
+		fmt.Sprintf("SELECT %s FROM %s WHERE %s > (SELECT AVG(%s) FROM %s)", d, t, m, m, t),
+	}
+	if len(dims) > 1 {
+		qs = append(qs, fmt.Sprintf(
+			"SELECT %s, %s, SUM(%s) OVER (PARTITION BY %s ORDER BY %s) FROM %s",
+			dims[1], d, m, dims[1], m, t))
+	}
+	return qs
+}
+
+// macroBench runs the three benchgen workload families end to end through
+// QueryCtx — enterprise warehouse rollups over cryptic schemas, the
+// research suites' gold SQL, and generated-notebook SQL cells — and
+// writes BENCH_macro.json. Any statement a generator emits that the
+// engine rejects fails the bench.
+func macroBench(scale float64, seed, outPath string) error {
+	ctx := context.Background()
+	var snaps []macroSnapshot
+
+	// Workload 1: enterprise rollups. One shared catalog of warehouse
+	// tables; the query mix leans on the full SQL surface (windows, CASE,
+	// subqueries) the way warehouse reporting scripts do.
+	nTables := int(8 * scale)
+	if nTables < 4 {
+		nTables = 4
+	}
+	tables := benchgen.GenerateEnterprise(seed, nTables)
+	cat := sqlengine.NewCatalog()
+	for _, et := range tables {
+		cat.Register(et.Data)
+	}
+	queries, rows := 0, 0
+	start := time.Now()
+	for _, et := range tables {
+		for _, q := range enterpriseQueries(et) {
+			n, err := drain(ctx, cat, q)
+			if err != nil {
+				return fmt.Errorf("enterprise %s: %w", et.Schema.Name, err)
+			}
+			queries++
+			rows += n
+		}
+	}
+	elapsed := time.Since(start)
+	if queries < 4*nTables {
+		return fmt.Errorf("enterprise workload synthesized only %d queries for %d tables", queries, nTables)
+	}
+	snaps = append(snaps, macroSnapshot{
+		Workload: "enterprise_rollups", Generator: "enterprise",
+		Tables: nTables, Queries: queries, Rows: rows,
+		NsPerOp: float64(elapsed.Nanoseconds()) / float64(queries),
+	})
+	fmt.Printf("enterprise:      %d rollups over %d warehouse tables, %d rows  (%v/query)\n",
+		queries, nTables, rows, elapsed/time.Duration(queries))
+
+	// Workload 2: research-suite gold SQL. Every task ships an executable
+	// gold query over its own synthesized table; all eight Table I suites
+	// must run clean.
+	suites := benchgen.Suites()
+	queries, rows = 0, 0
+	tasksTotal := 0
+	start = time.Now()
+	for _, s := range suites {
+		n := int(float64(s.N) * scale)
+		if n < 10 {
+			n = 10
+		}
+		if n > s.N {
+			n = s.N
+		}
+		s.N = n
+		executed := 0
+		for _, task := range benchgen.GenerateSuite(s, seed) {
+			tasksTotal++
+			if task.GoldSQL == "" {
+				continue
+			}
+			tcat := sqlengine.NewCatalog()
+			tcat.Register(task.Table)
+			got, err := drain(ctx, tcat, task.GoldSQL)
+			if err != nil {
+				return fmt.Errorf("research %s: %w", task.ID, err)
+			}
+			queries++
+			rows += got
+			executed++
+		}
+		if executed == 0 {
+			return fmt.Errorf("research suite %s produced no executable gold SQL", s.Name)
+		}
+	}
+	elapsed = time.Since(start)
+	snaps = append(snaps, macroSnapshot{
+		Workload: "research_gold_sql", Generator: "research",
+		Tables: tasksTotal, Queries: queries, Rows: rows,
+		NsPerOp: float64(elapsed.Nanoseconds()) / float64(queries),
+	})
+	fmt.Printf("research:        %d/%d gold queries across %d suites, %d rows  (%v/query)\n",
+		queries, tasksTotal, len(suites), rows, elapsed/time.Duration(queries))
+
+	// Workload 3: notebook SQL cells. The generated notebook's extraction
+	// cells run against seeded topic tables, then each topic gets the
+	// window-refined extraction the notebook queries ask for ("refine the
+	// %s extraction").
+	nCells := int(140 * scale)
+	if nCells < 28 {
+		nCells = 28
+	}
+	gnb, err := benchgen.GenerateNotebook(seed, nCells)
+	if err != nil {
+		return fmt.Errorf("notebook generate: %w", err)
+	}
+	topics := []string{"sales", "orders", "traffic", "billing", "retention"}
+	regions := []string{"east", "west", "north", "south"}
+	ncat := sqlengine.NewCatalog()
+	for ti, topic := range topics {
+		t := table.MustNew(topic,
+			[]string{"region", "amount"},
+			[]table.Kind{table.KindString, table.KindFloat})
+		for r := 0; r < 400; r++ {
+			t.MustAppendRow(
+				table.Str(regions[(r+ti)%len(regions)]),
+				table.Float(float64((r*7919+ti*131)%20000)/100),
+			)
+		}
+		ncat.Register(t)
+	}
+	queries, rows = 0, 0
+	sqlCells := 0
+	start = time.Now()
+	for _, c := range gnb.Notebook.Cells() {
+		if c.Type != notebook.CellSQL {
+			continue
+		}
+		sqlCells++
+		n, err := drain(ctx, ncat, c.Source)
+		if err != nil {
+			return fmt.Errorf("notebook cell %s: %w", c.ID, err)
+		}
+		queries++
+		rows += n
+	}
+	for _, topic := range topics {
+		q := fmt.Sprintf(
+			"SELECT region, amount, ROW_NUMBER() OVER (PARTITION BY region ORDER BY amount DESC) AS rn FROM %s",
+			topic)
+		n, err := drain(ctx, ncat, q)
+		if err != nil {
+			return fmt.Errorf("notebook refinement %s: %w", topic, err)
+		}
+		queries++
+		rows += n
+	}
+	elapsed = time.Since(start)
+	if sqlCells < 2 {
+		return fmt.Errorf("generated notebook carried only %d SQL cells", sqlCells)
+	}
+	snaps = append(snaps, macroSnapshot{
+		Workload: "notebook_sql_cells", Generator: "notebook",
+		Tables: len(topics), Queries: queries, Rows: rows,
+		NsPerOp: float64(elapsed.Nanoseconds()) / float64(queries),
+	})
+	fmt.Printf("notebook:        %d SQL cells + %d refinements, %d rows  (%v/query)\n",
+		sqlCells, len(topics), rows, elapsed/time.Duration(queries))
+
+	// The snapshot must cover all three generators, each with work done.
+	have := map[string]bool{}
+	for _, s := range snaps {
+		if s.Queries <= 0 || s.NsPerOp <= 0 {
+			return fmt.Errorf("macro workload %s recorded no work", s.Workload)
+		}
+		have[s.Generator] = true
+	}
+	for _, g := range []string{"enterprise", "research", "notebook"} {
+		if !have[g] {
+			return fmt.Errorf("macro snapshot missing the %s generator", g)
+		}
+	}
+
+	data, err := json.MarshalIndent(snaps, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("snapshot:        %s\n", outPath)
+	return nil
+}

@@ -19,17 +19,18 @@ import (
 func main() {
 	scale := flag.Float64("scale", 1.0, "fraction of full workload sizes (0,1]")
 	seed := flag.String("seed", "datalab-v1", "experiment seed")
-	only := flag.String("only", "", "run a single experiment: table1|figure6|knowgen|table2|table3|figure7|table4|engine|plancache|ingest|server|wal")
-	all := flag.Bool("all", false, "run every BENCH-emitting workload family (plancache, ingest, server, wal) and write their snapshots")
+	only := flag.String("only", "", "run a single experiment: table1|figure6|knowgen|table2|table3|figure7|table4|engine|plancache|ingest|server|wal|macro")
+	all := flag.Bool("all", false, "run every BENCH-emitting workload family (plancache, ingest, server, wal, macro) and write their snapshots")
 	plancacheOut := flag.String("plancache-out", "BENCH_plancache.json", "output path for the plan-cache workload snapshot")
 	ingestOut := flag.String("ingest-out", "BENCH_ingest.json", "output path for the streaming-ingest workload snapshot")
 	serverOut := flag.String("server-out", "BENCH_server.json", "output path for the wire-protocol workload snapshot")
 	walOut := flag.String("wal-out", "BENCH_wal.json", "output path for the durability workload snapshot")
+	macroOut := flag.String("macro-out", "BENCH_macro.json", "output path for the generator macro-workload snapshot")
 	flag.Parse()
 
 	// benchFamilies are the workloads that persist BENCH_*.json snapshots;
 	// -all runs exactly these (skipping the paper-table experiments).
-	benchFamilies := map[string]bool{"plancache": true, "ingest": true, "server": true, "wal": true}
+	benchFamilies := map[string]bool{"plancache": true, "ingest": true, "server": true, "wal": true, "macro": true}
 	run := func(name string) bool {
 		if *all {
 			return benchFamilies[name]
@@ -141,6 +142,14 @@ func main() {
 		fmt.Println("== Durability: WAL fsync policies + crash-recovery replay ==")
 		if err := walBench(int(100_000**scale), *walOut); err != nil {
 			fmt.Fprintln(os.Stderr, "wal:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+	if run("macro") {
+		fmt.Println("== Macro: benchgen workloads end to end through QueryCtx ==")
+		if err := macroBench(*scale, *seed, *macroOut); err != nil {
+			fmt.Fprintln(os.Stderr, "macro:", err)
 			os.Exit(1)
 		}
 	}

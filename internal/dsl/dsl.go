@@ -156,6 +156,8 @@ var sqlReserved = map[string]bool{
 	"outer": true, "on": true, "asc": true, "desc": true, "distinct": true,
 	"true": true, "false": true, "case": true, "when": true, "then": true,
 	"else": true, "end": true, "offset": true,
+	"over": true, "partition": true, "rows": true, "unbounded": true,
+	"preceding": true, "current": true, "row": true,
 }
 
 func quoteIdent(s string) string {

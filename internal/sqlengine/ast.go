@@ -95,45 +95,111 @@ func (u *Unary) SQL() string {
 }
 
 // FuncCall is a function application; aggregates are recognized by name.
+// When Over is non-nil the call is a window function computed per input
+// row over its partition rather than a grouping aggregate.
 type FuncCall struct {
 	Name     string // uppercased
 	Args     []Expr
-	Distinct bool // COUNT(DISTINCT x)
-	IsStar   bool // COUNT(*)
+	Distinct bool        // COUNT(DISTINCT x)
+	IsStar   bool        // COUNT(*)
+	Over     *WindowSpec // non-nil for window functions
 }
 
 // SQL implements Expr.
 func (f *FuncCall) SQL() string {
+	var base string
 	if f.IsStar {
-		return f.Name + "(*)"
+		base = f.Name + "(*)"
+	} else {
+		args := make([]string, len(f.Args))
+		for i, a := range f.Args {
+			args[i] = a.SQL()
+		}
+		d := ""
+		if f.Distinct {
+			d = "DISTINCT "
+		}
+		base = fmt.Sprintf("%s(%s%s)", f.Name, d, strings.Join(args, ", "))
 	}
-	args := make([]string, len(f.Args))
-	for i, a := range f.Args {
-		args[i] = a.SQL()
+	if f.Over != nil {
+		base += " OVER " + f.Over.SQL()
 	}
-	d := ""
-	if f.Distinct {
-		d = "DISTINCT "
-	}
-	return fmt.Sprintf("%s(%s%s)", f.Name, d, strings.Join(args, ", "))
+	return base
 }
 
-// In is `x [NOT] IN (v1, v2, ...)`.
+// WindowSpec is the OVER (...) clause of a window function.
+type WindowSpec struct {
+	PartitionBy []Expr
+	OrderBy     []OrderItem
+	Frame       *WindowFrame // optional ROWS frame; requires OrderBy
+}
+
+// SQL renders the spec back to SQL text.
+func (w *WindowSpec) SQL() string {
+	var parts []string
+	if len(w.PartitionBy) > 0 {
+		cols := make([]string, len(w.PartitionBy))
+		for i, e := range w.PartitionBy {
+			cols[i] = e.SQL()
+		}
+		parts = append(parts, "PARTITION BY "+strings.Join(cols, ", "))
+	}
+	if len(w.OrderBy) > 0 {
+		items := make([]string, len(w.OrderBy))
+		for i, o := range w.OrderBy {
+			items[i] = o.Expr.SQL()
+			if o.Desc {
+				items[i] += " DESC"
+			}
+		}
+		parts = append(parts, "ORDER BY "+strings.Join(items, ", "))
+	}
+	if w.Frame != nil {
+		lo := "UNBOUNDED PRECEDING"
+		if !w.Frame.Unbounded {
+			lo = fmt.Sprintf("%d PRECEDING", w.Frame.Preceding)
+		}
+		parts = append(parts, "ROWS BETWEEN "+lo+" AND CURRENT ROW")
+	}
+	return "(" + strings.Join(parts, " ") + ")"
+}
+
+// WindowFrame is a ROWS BETWEEN ... AND CURRENT ROW frame bound.
+type WindowFrame struct {
+	Preceding int64 // rows before the current row included in the frame
+	Unbounded bool  // UNBOUNDED PRECEDING
+}
+
+// Subquery is a parenthesized scalar subquery used as an expression. It
+// must produce exactly one column and at most one row at execution time.
+type Subquery struct {
+	Stmt *SelectStmt
+}
+
+// SQL implements Expr.
+func (s *Subquery) SQL() string { return "(" + s.Stmt.SQL() + ")" }
+
+// In is `x [NOT] IN (v1, v2, ...)` or `x [NOT] IN (SELECT ...)`. Exactly
+// one of Values/Sub is set; Sub is inlined to a value list at execution.
 type In struct {
 	X      Expr
 	Values []Expr
+	Sub    *SelectStmt // non-nil for IN (SELECT ...)
 	Not    bool
 }
 
 // SQL implements Expr.
 func (in *In) SQL() string {
-	vals := make([]string, len(in.Values))
-	for i, v := range in.Values {
-		vals[i] = v.SQL()
-	}
 	op := "IN"
 	if in.Not {
 		op = "NOT IN"
+	}
+	if in.Sub != nil {
+		return fmt.Sprintf("(%s %s (%s))", in.X.SQL(), op, in.Sub.SQL())
+	}
+	vals := make([]string, len(in.Values))
+	for i, v := range in.Values {
+		vals[i] = v.SQL()
 	}
 	return fmt.Sprintf("(%s %s (%s))", in.X.SQL(), op, strings.Join(vals, ", "))
 }

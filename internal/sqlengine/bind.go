@@ -103,6 +103,14 @@ func resolveBinds(stmt *SelectStmt, binds []table.Value) (*SelectStmt, error) {
 	if len(binds) != stmt.NumParams() {
 		return nil, fmt.Errorf("sql: statement has %d parameter(s), %d bound", stmt.NumParams(), len(binds))
 	}
+	return resolveBindsLoose(stmt, binds)
+}
+
+// resolveBindsLoose is resolveBinds without the slot-count check — the
+// entry point for subquery statements, whose Params list is cleared at
+// parse time (slots live on the top-level statement) while their
+// placeholders still resolve through the outer binding slice.
+func resolveBindsLoose(stmt *SelectStmt, binds []table.Value) (*SelectStmt, error) {
 	if stmt.LimitParam == nil && stmt.OffsetParam == nil {
 		return stmt, nil
 	}

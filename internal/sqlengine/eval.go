@@ -19,6 +19,10 @@ type env interface {
 	// resolveParam returns the value bound to a placeholder, or an error
 	// when the execution carries no binding for it.
 	resolveParam(p *Param) (table.Value, error)
+	// resolveWindow returns the current row's value of a window function
+	// call (precomputed before projection), or an error when window
+	// functions are not valid in this context.
+	resolveWindow(fn *FuncCall) (table.Value, error)
 }
 
 // evalExpr evaluates e in the given environment.
@@ -62,11 +66,21 @@ func evalExpr(e Expr, ev env) (table.Value, error) {
 	case *Binary:
 		return evalBinary(x, ev)
 	case *FuncCall:
+		if x.Over != nil {
+			return ev.resolveWindow(x)
+		}
 		if _, isAgg := table.ParseAggFunc(x.Name); isAgg2(x.Name) || isAgg {
 			return ev.resolveAggregate(x)
 		}
 		return evalScalarFunc(x, ev)
+	case *Subquery:
+		// Subqueries are inlined to literals before execution reaches the
+		// evaluator; seeing one here is an engine bug, not a user error.
+		return table.Null(), fmt.Errorf("sql: internal error: subquery was not inlined")
 	case *In:
+		if x.Sub != nil {
+			return table.Null(), fmt.Errorf("sql: internal error: IN subquery was not inlined")
+		}
 		v, err := evalExpr(x.X, ev)
 		if err != nil {
 			return table.Null(), err

@@ -290,6 +290,10 @@ type vrel struct {
 	cols  []table.Column
 	nrows int
 	binds []table.Value
+	// win holds the precomputed window-function columns for the current
+	// projection, keyed by AST node pointer and indexed by selection
+	// position. Set by executePlainVec before item evaluation.
+	win map[*FuncCall]table.Column
 }
 
 func vrelFrom(t *table.Table, qual string) *vrel {
@@ -327,6 +331,10 @@ func (c *Catalog) ExecuteCtx(ctx context.Context, stmt *SelectStmt) (*table.Tabl
 // executeCtxBound is ExecuteCtx with the execution's parameter bindings.
 func (c *Catalog) executeCtxBound(ctx context.Context, stmt *SelectStmt, binds []table.Value) (*table.Table, error) {
 	stmt, err := resolveBinds(stmt, binds)
+	if err != nil {
+		return nil, err
+	}
+	stmt, err = c.inlineSubqueries(ctx, stmt, binds, false)
 	if err != nil {
 		return nil, err
 	}
@@ -368,6 +376,10 @@ func (c *Catalog) ExecuteResult(ctx context.Context, stmt *SelectStmt) (*Result,
 // Bound.Exec.
 func (c *Catalog) executeResultBound(ctx context.Context, stmt *SelectStmt, binds []table.Value) (*Result, error) {
 	stmt, err := resolveBinds(stmt, binds)
+	if err != nil {
+		return nil, err
+	}
+	stmt, err = c.inlineSubqueries(ctx, stmt, binds, false)
 	if err != nil {
 		return nil, err
 	}
@@ -441,8 +453,10 @@ func (c *Catalog) scanFilter(ctx context.Context, stmt *SelectStmt, binds []tabl
 	// LIMIT pushdown: without grouping, ordering, or DISTINCT, only the
 	// first OFFSET+LIMIT selected rows can reach the output, so truncate
 	// the selection before projecting instead of materializing and then
-	// slicing. Span-form selections truncate without copying.
-	if !grouped && len(stmt.OrderBy) == 0 && !stmt.Distinct && stmt.Limit >= 0 {
+	// slicing. Span-form selections truncate without copying. Window
+	// functions disable the pushdown: their frames span the full filtered
+	// set, so truncating first would change their values.
+	if !grouped && len(stmt.OrderBy) == 0 && !stmt.Distinct && stmt.Limit >= 0 && !selectHasWindow(stmt) {
 		keep := stmt.Limit
 		if stmt.Offset > 0 {
 			keep += stmt.Offset
@@ -640,6 +654,70 @@ func orderExprs(stmt *SelectStmt, items []SelectItem) []OrderItem {
 	return resolved
 }
 
+// resolveHavingAliases rewrites bare column references in a HAVING clause
+// that name a select-list alias (and no relation column) to that item's
+// expression, copy-on-write. Relation columns take precedence over
+// aliases, and references inside aggregate arguments are left alone —
+// they resolve against the group's rows.
+func resolveHavingAliases(e Expr, items []SelectItem, s *relSchema) Expr {
+	switch x := e.(type) {
+	case *ColumnRef:
+		if x.Table == "" && s.findColumn(x) < 0 {
+			for _, it := range items {
+				if strings.EqualFold(it.OutputName(), x.Name) {
+					return it.Expr
+				}
+			}
+		}
+		return x
+	case *FuncCall:
+		if isAgg2(x.Name) {
+			return x
+		}
+		nf := &FuncCall{Name: x.Name, Distinct: x.Distinct, IsStar: x.IsStar, Over: x.Over}
+		nf.Args = make([]Expr, len(x.Args))
+		for i, a := range x.Args {
+			nf.Args[i] = resolveHavingAliases(a, items, s)
+		}
+		return nf
+	case *Binary:
+		return &Binary{
+			Op: x.Op,
+			L:  resolveHavingAliases(x.L, items, s),
+			R:  resolveHavingAliases(x.R, items, s),
+		}
+	case *Unary:
+		return &Unary{Op: x.Op, X: resolveHavingAliases(x.X, items, s)}
+	case *Between:
+		return &Between{
+			X:   resolveHavingAliases(x.X, items, s),
+			Lo:  resolveHavingAliases(x.Lo, items, s),
+			Hi:  resolveHavingAliases(x.Hi, items, s),
+			Not: x.Not,
+		}
+	case *IsNull:
+		return &IsNull{X: resolveHavingAliases(x.X, items, s), Not: x.Not}
+	case *In:
+		ni := &In{X: resolveHavingAliases(x.X, items, s), Not: x.Not}
+		ni.Values = make([]Expr, len(x.Values))
+		for i, v := range x.Values {
+			ni.Values[i] = resolveHavingAliases(v, items, s)
+		}
+		return ni
+	case *CaseExpr:
+		nc := &CaseExpr{Whens: make([]WhenClause, len(x.Whens))}
+		for i, w := range x.Whens {
+			nc.Whens[i].Cond = resolveHavingAliases(w.Cond, items, s)
+			nc.Whens[i].Result = resolveHavingAliases(w.Result, items, s)
+		}
+		if x.Else != nil {
+			nc.Else = resolveHavingAliases(x.Else, items, s)
+		}
+		return nc
+	}
+	return e
+}
+
 func selectHasAggregate(stmt *SelectStmt) bool {
 	for _, it := range stmt.Items {
 		if exprHasAggregate(it.Expr) {
@@ -652,6 +730,11 @@ func selectHasAggregate(stmt *SelectStmt) bool {
 func exprHasAggregate(e Expr) bool {
 	switch x := e.(type) {
 	case *FuncCall:
+		if x.Over != nil {
+			// A window call is not a grouping aggregate, and its arguments
+			// cannot contain one (rejected at parse time).
+			return false
+		}
 		if isAgg2(x.Name) {
 			return true
 		}
@@ -695,6 +778,18 @@ func executePlainVec(ctx context.Context, stmt *SelectStmt, rel *vrel, sel *tabl
 	items := expandItems(stmt, &rel.relSchema)
 	order := orderExprs(stmt, items)
 	n := selLen(rel, sel)
+
+	// Window columns are computed once over the full selection before any
+	// item evaluation; item and ORDER BY expressions then read them via
+	// rel.win (evalVec's FuncCall case and vecRowEnv.resolveWindow).
+	if wins := statementWindows(stmt, items, order); len(wins) > 0 {
+		win, err := computeWindowsVec(wins, rel, sel)
+		if err != nil {
+			return nil, err
+		}
+		rel.win = win
+		defer func() { rel.win = nil }()
+	}
 
 	// A bare column evaluated with no selection or a single-range
 	// selection is a zero-copy view of catalog storage; copy it so the
@@ -927,6 +1022,10 @@ func (e *vGroupEnv) resolveParam(p *Param) (table.Value, error) {
 	return bindAt(e.rel.binds, p)
 }
 
+func (e *vGroupEnv) resolveWindow(fn *FuncCall) (table.Value, error) {
+	return table.Null(), errWindowContext(fn)
+}
+
 func (e *vGroupEnv) resolveAggregate(fn *FuncCall) (table.Value, error) {
 	if fn.IsStar {
 		if fn.Name != "COUNT" {
@@ -1096,6 +1195,10 @@ func executeGroupedVec(ctx context.Context, stmt *SelectStmt, rel *vrel, sel *ta
 		return nil, err
 	}
 
+	having := stmt.Having
+	if having != nil {
+		having = resolveHavingAliases(having, items, &rel.relSchema)
+	}
 	type groupOut struct {
 		include bool
 		pr      projectedRow
@@ -1103,8 +1206,8 @@ func executeGroupedVec(ctx context.Context, stmt *SelectStmt, rel *vrel, sel *ta
 	outs := make([]groupOut, len(groups))
 	evalGroup := func(gi int) error {
 		ev := &vGroupEnv{rel: rel, rows: groups[gi].sel}
-		if stmt.Having != nil {
-			hv, err := evalExpr(stmt.Having, ev)
+		if having != nil {
+			hv, err := evalExpr(having, ev)
 			if err != nil {
 				return err
 			}

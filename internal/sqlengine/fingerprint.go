@@ -24,6 +24,12 @@ import (
 //     BY / ORDER BY integers are positional references — parameterizing
 //     either would change results.
 //   - The NULL terminating IS [NOT] NULL is grammar, not a literal.
+//   - A parenthesized subquery runs the zone machine recursively: its
+//     clause keywords scope to the subquery, and the surrounding zone is
+//     restored at the closing paren — a LIMIT inside `IN (SELECT ...)`
+//     must not turn extraction on for the outer GROUP BY / ORDER BY.
+//   - ROWS frame bounds (`ROWS BETWEEN 2 PRECEDING ...`) are grammar,
+//     not literals; the ROWS keyword turns extraction off.
 //   - IN-lists extract per element, so lists of different arity normalize
 //     to distinct templates with matching slot counts.
 //   - Texts that already contain placeholders are returned unchanged
@@ -47,6 +53,14 @@ func Fingerprint(sql string) (template string, values []table.Value, ok bool) {
 	var sb strings.Builder
 	last := 0
 	extract := false // false until FROM: the select list never parameterizes
+	// Subquery zones: entering `(SELECT` saves the surrounding zone state,
+	// the matching close paren restores it.
+	depth := 0
+	type subFrame struct {
+		depth int
+		saved bool
+	}
+	var subs []subFrame
 	replace := func(t *token, v table.Value) {
 		sb.WriteString(sql[last:t.pos])
 		sb.WriteByte('?')
@@ -58,11 +72,25 @@ func Fingerprint(sql string) (template string, values []table.Value, ok bool) {
 		switch t.kind {
 		case tokParam:
 			return sql, nil, false
+		case tokOp:
+			switch t.text {
+			case "(":
+				depth++
+				if k+1 < len(toks) && toks[k+1].kind == tokKeyword && toks[k+1].text == "SELECT" {
+					subs = append(subs, subFrame{depth: depth, saved: extract})
+				}
+			case ")":
+				if n := len(subs); n > 0 && subs[n-1].depth == depth {
+					extract = subs[n-1].saved
+					subs = subs[:n-1]
+				}
+				depth--
+			}
 		case tokKeyword:
 			switch t.text {
 			case "FROM", "ON", "WHERE", "HAVING", "LIMIT", "OFFSET":
 				extract = true
-			case "SELECT", "GROUP", "ORDER":
+			case "SELECT", "GROUP", "ORDER", "ROWS":
 				extract = false
 			case "NULL":
 				if extract && !isNullPredicate(toks, k) {

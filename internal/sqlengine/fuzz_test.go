@@ -230,13 +230,29 @@ func FuzzDifferentialSQL(f *testing.F) {
 	f.Add(int64(21), uint16(260), uint8(45))
 	f.Add(int64(22), uint16(690), uint8(45))
 	f.Add(int64(23), uint16(0), uint8(47))
+	// Seeds added with window functions + the richer SQL surface: the
+	// query generator now emits ROW_NUMBER/RANK/DENSE_RANK and moving
+	// SUM/AVG/COUNT/MIN/MAX over PARTITION BY ... ORDER BY ... specs
+	// (RANGE-peer, ROWS-frame, and whole-partition shapes), simple-form
+	// CASE, scalar and IN (SELECT ...) subqueries in predicates and select
+	// lists, and HAVING over aliases and compound aggregate expressions —
+	// so these inputs drive the shared window accumulator through both
+	// engines' partition/sort machinery, subquery inlining through every
+	// executor (bound and inlined), and frame arithmetic across the
+	// differential battery. Sizes straddle empty, tiny, and
+	// parallel-threshold tables so partitions span none, one, and many.
+	f.Add(int64(24), uint16(420), uint8(47))
+	f.Add(int64(25), uint16(60), uint8(47))
+	f.Add(int64(26), uint16(670), uint8(45))
+	f.Add(int64(27), uint16(1), uint8(40))
+	f.Add(int64(28), uint16(0), uint8(40))
 	f.Fuzz(diffOneSeed)
 }
 
 // TestDifferentialFuzzCorpus widens the always-on coverage beyond the
 // fuzz seed corpus: a sweep of seeds through the same three-way check.
 func TestDifferentialFuzzCorpus(t *testing.T) {
-	for seed := int64(100); seed < 120; seed++ {
+	for seed := int64(100); seed < 126; seed++ {
 		diffOneSeed(t, seed, uint16(seed*37%650), 24)
 	}
 }
@@ -263,6 +279,16 @@ func TestBindVsInlineCorpus(t *testing.T) {
 		"SELECT a FROM data ORDER BY a LIMIT 10",
 		"SELECT a, b FROM data WHERE e < 5 ORDER BY a DESC, b LIMIT 12 OFFSET 6",
 		"SELECT a FROM data WHERE a IS NOT NULL AND a <> 3 ORDER BY a LIMIT 100 OFFSET 395",
+		// Window/CASE/subquery shapes: literals inside OVER specs stay
+		// inline (frame bounds are grammar), while WHERE and subquery
+		// literals extract into the shared bind-slot space.
+		"SELECT a, ROW_NUMBER() OVER (PARTITION BY c ORDER BY a, b) AS rn FROM data WHERE e < 6 ORDER BY a, rn LIMIT 30",
+		"SELECT a, SUM(b) OVER (ORDER BY a ROWS BETWEEN 3 PRECEDING AND CURRENT ROW) AS ms FROM data WHERE a > -5 ORDER BY a LIMIT 25",
+		"SELECT e, RANK() OVER (ORDER BY e DESC) FROM data WHERE b < 50.5 ORDER BY 1, 2 LIMIT 20",
+		"SELECT a FROM data WHERE b > (SELECT AVG(score) FROM multi WHERE score < 7.5) ORDER BY a LIMIT 15",
+		"SELECT a, e FROM data WHERE e IN (SELECT mkey FROM multi WHERE score > 3.5) ORDER BY a, e LIMIT 20",
+		"SELECT a, CASE c WHEN 'red' THEN 1 WHEN 'blue' THEN 2 ELSE 0 END AS rc FROM data WHERE a BETWEEN -3 AND 12 ORDER BY a, rc",
+		"SELECT c, SUM(a) AS total FROM data WHERE e <> 7 GROUP BY c HAVING total > 25 ORDER BY 1",
 	}
 	for _, q := range queries {
 		tbl, err := c.Query(q)

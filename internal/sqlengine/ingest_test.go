@@ -298,6 +298,163 @@ func TestConcurrentIngestQueryStress(t *testing.T) {
 	}
 }
 
+// TestConcurrentWindowQueryStress runs window-function queries against the
+// stream table while writers append and publish, under -race. Window
+// frames are computed over the whole filtered input, so a blended
+// snapshot is maximally visible: every row of the result constrains the
+// full prefix. For a published prefix of c rows (v = 0..c-1, p = v % 2):
+//
+//   - ROW_NUMBER() OVER (ORDER BY v) at row v is v+1,
+//   - SUM(v) OVER (PARTITION BY p ORDER BY v) at row v is m(m-1) + p*m
+//     with m = (v-p)/2 + 1 (the count of partition rows up to v),
+//   - SUM(v) OVER (ORDER BY v ROWS BETWEEN 1 PRECEDING AND CURRENT ROW)
+//     at row v is 2v-1 (v at row 0),
+//
+// and the observed row count must be a published size. Any torn frame —
+// a partition missing a row of its snapshot, or a frame crossing into a
+// newer chunk — breaks a closed form at some row.
+func TestConcurrentWindowQueryStress(t *testing.T) {
+	scale := stressScale()
+	const writers, readers, batchN = 2, 4, 9
+	batches := 20 * scale
+
+	c := streamCatalog()
+	stream, _ := c.Appender("stream")
+
+	var book struct {
+		sync.Mutex
+		total     int
+		published map[int64]bool
+	}
+	book.published = map[int64]bool{0: true}
+
+	var wg, writerWG sync.WaitGroup
+	done := make(chan struct{})
+	errs := make(chan error, writers+readers)
+
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func() {
+			defer writerWG.Done()
+			for i := 0; i < batches; i++ {
+				book.Lock()
+				start := book.total
+				if err := stream.Append(streamRows(start, batchN)...); err != nil {
+					book.Unlock()
+					errs <- err
+					return
+				}
+				book.total = start + batchN
+				book.published[int64(book.total)] = true
+				stream.Publish()
+				book.Unlock()
+			}
+		}()
+	}
+
+	checkPartitioned := func(g int) error {
+		res, err := c.QueryCtx(context.Background(),
+			"SELECT v, ROW_NUMBER() OVER (ORDER BY v) AS rn, SUM(v) OVER (PARTITION BY p ORDER BY v) AS rs FROM stream ORDER BY v")
+		if err != nil {
+			return err
+		}
+		var seen int64
+		for b := res.Next(); b != nil; b = res.Next() {
+			for r := 0; r < b.NumRows(); r++ {
+				v, _ := b.Int64(0, r)
+				rn, _ := b.Int64(1, r)
+				rs, _ := b.Float64(2, r)
+				if v != seen || rn != seen+1 {
+					return fmt.Errorf("reader %d: row %d has v=%d rn=%d", g, seen, v, rn)
+				}
+				p := v % 2
+				m := (v-p)/2 + 1
+				if want := float64(m*(m-1) + p*m); rs != want {
+					return fmt.Errorf("reader %d: torn window frame at v=%d: rs=%v want %v", g, v, rs, want)
+				}
+				seen++
+			}
+		}
+		book.Lock()
+		okSize := book.published[seen]
+		book.Unlock()
+		if !okSize {
+			return fmt.Errorf("reader %d: window query saw %d rows, never published", g, seen)
+		}
+		return nil
+	}
+
+	checkMovingFrame := func(g int) error {
+		res, err := c.QueryCtx(context.Background(),
+			"SELECT v, SUM(v) OVER (ORDER BY v ROWS BETWEEN 1 PRECEDING AND CURRENT ROW) AS ms FROM stream ORDER BY v")
+		if err != nil {
+			return err
+		}
+		var seen int64
+		for b := res.Next(); b != nil; b = res.Next() {
+			for r := 0; r < b.NumRows(); r++ {
+				v, _ := b.Int64(0, r)
+				ms, _ := b.Float64(1, r)
+				want := float64(2*v - 1)
+				if v == 0 {
+					want = 0
+				}
+				if v != seen || ms != want {
+					return fmt.Errorf("reader %d: torn ROWS frame at row %d: v=%d ms=%v want %v", g, seen, v, ms, want)
+				}
+				seen++
+			}
+		}
+		book.Lock()
+		okSize := book.published[seen]
+		book.Unlock()
+		if !okSize {
+			return fmt.Errorf("reader %d: moving-frame query saw %d rows, never published", g, seen)
+		}
+		return nil
+	}
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				var err error
+				if g%2 == 0 {
+					err = checkPartitioned(g)
+				} else {
+					err = checkMovingFrame(g)
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(r)
+	}
+
+	writerWG.Wait()
+	close(done)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Steady state: the final snapshot satisfies both closed forms in full.
+	if err := checkPartitioned(-1); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkMovingFrame(-1); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestCursorAcrossSnapshots holds one lazy Result cursor open across many
 // published snapshots: the acceptance criterion that appends never block
 // — or bleed into — an in-flight cursor. The cursor must drain exactly

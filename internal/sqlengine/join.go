@@ -67,6 +67,10 @@ func (e *pairEnv) resolveParam(p *Param) (table.Value, error) {
 	return bindAt(e.left.binds, p)
 }
 
+func (e *pairEnv) resolveWindow(fn *FuncCall) (table.Value, error) {
+	return table.Null(), errWindowContext(fn)
+}
+
 // splitConjuncts flattens a tree of ANDs into its conjuncts in evaluation
 // order.
 func splitConjuncts(e Expr) []Expr {
@@ -152,6 +156,16 @@ func referencedOutputColumns(stmt *SelectStmt) *joinKeepSet {
 		case *FuncCall:
 			for _, a := range x.Args {
 				walk(a)
+			}
+			if x.Over != nil {
+				// Window partition and sort keys read the joined relation
+				// even when they appear nowhere else in the statement.
+				for _, p := range x.Over.PartitionBy {
+					walk(p)
+				}
+				for _, o := range x.Over.OrderBy {
+					walk(o.Expr)
+				}
 			}
 		case *In:
 			walk(x.X)

@@ -34,6 +34,8 @@ var keywords = map[string]bool{
 	"OUTER": true, "ON": true, "ASC": true, "DESC": true, "DISTINCT": true,
 	"TRUE": true, "FALSE": true, "CASE": true, "WHEN": true, "THEN": true,
 	"ELSE": true, "END": true, "OFFSET": true,
+	"OVER": true, "PARTITION": true, "ROWS": true, "UNBOUNDED": true,
+	"PRECEDING": true, "CURRENT": true, "ROW": true,
 }
 
 // lex splits a SQL string into tokens.

@@ -30,6 +30,9 @@ func Parse(sql string) (*SelectStmt, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := validateSelect(stmt); err != nil {
+		return nil, err
+	}
 	// Allow a trailing semicolon.
 	if p.peek().kind == tokOp && p.peek().text == ";" {
 		p.next()
@@ -261,6 +264,78 @@ afterJoins:
 	return stmt, nil
 }
 
+// parseSubSelect parses a nested SELECT in a subquery position. The
+// subquery shares the outer statement's binding-slot space (placeholders
+// inside it allocate outer slots), so its own Params list is cleared —
+// only the top-level statement declares slots; subquery execution passes
+// the outer binding slice through unchecked (resolveBindsLoose).
+func (p *parser) parseSubSelect() (*SelectStmt, error) {
+	sub, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if err := validateSelect(sub); err != nil {
+		return nil, err
+	}
+	sub.Params = nil
+	return sub, nil
+}
+
+// validateSelect enforces statement-level placement rules for window
+// functions once a statement (or subquery) finishes parsing, so malformed
+// shapes fail at parse time with targeted messages instead of deep in an
+// executor.
+func validateSelect(stmt *SelectStmt) error {
+	for _, j := range stmt.Joins {
+		if exprHasWindow(j.On) {
+			return fmt.Errorf("sql: window functions are not allowed in JOIN ON")
+		}
+	}
+	if stmt.Where != nil && exprHasWindow(stmt.Where) {
+		return fmt.Errorf("sql: window functions are not allowed in WHERE")
+	}
+	for _, g := range stmt.GroupBy {
+		if exprHasWindow(g) {
+			return fmt.Errorf("sql: window functions are not allowed in GROUP BY")
+		}
+	}
+	if stmt.Having != nil && exprHasWindow(stmt.Having) {
+		return fmt.Errorf("sql: window functions are not allowed in HAVING")
+	}
+	var wins []*FuncCall
+	for _, it := range stmt.Items {
+		wins = collectWindowCalls(it.Expr, wins)
+	}
+	for _, o := range stmt.OrderBy {
+		wins = collectWindowCalls(o.Expr, wins)
+	}
+	if len(wins) == 0 {
+		return nil
+	}
+	if len(stmt.GroupBy) > 0 || stmt.Having != nil || selectHasAggregate(stmt) {
+		return fmt.Errorf("sql: window functions cannot be combined with GROUP BY or aggregates")
+	}
+	for _, fn := range wins {
+		inner := append([]Expr{}, fn.Args...)
+		inner = append(inner, fn.Over.PartitionBy...)
+		for _, o := range fn.Over.OrderBy {
+			inner = append(inner, o.Expr)
+		}
+		for _, e := range inner {
+			if exprHasWindow(e) {
+				return fmt.Errorf("sql: window functions cannot be nested")
+			}
+			if exprHasAggregate(e) {
+				return fmt.Errorf("sql: aggregates are not allowed inside a window function")
+			}
+			if exprHasSubquery(e) {
+				return fmt.Errorf("sql: subqueries are not allowed inside a window function")
+			}
+		}
+	}
+	return nil
+}
+
 // parseLimitTerm parses a LIMIT/OFFSET operand: a non-negative integer
 // literal, or a placeholder resolved at execute time.
 func (p *parser) parseLimitTerm() (int, *Param, error) {
@@ -436,14 +511,25 @@ func (p *parser) parsePredicate() (Expr, error) {
 			return nil, err
 		}
 		in := &In{X: left, Not: not}
-		for {
-			v, err := p.parseExpr()
+		if p.atKeyword("SELECT") {
+			sub, err := p.parseSubSelect()
 			if err != nil {
 				return nil, err
 			}
-			in.Values = append(in.Values, v)
-			if !p.acceptOp(",") {
-				break
+			if len(sub.Items) != 1 {
+				return nil, fmt.Errorf("sql: IN subquery must return exactly one column, got %d", len(sub.Items))
+			}
+			in.Sub = sub
+		} else {
+			for {
+				v, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				in.Values = append(in.Values, v)
+				if !p.acceptOp(",") {
+					break
+				}
 			}
 		}
 		if err := p.expectOp(")"); err != nil {
@@ -593,23 +679,30 @@ func (p *parser) parsePrimary() (Expr, error) {
 				if err := p.expectOp(")"); err != nil {
 					return nil, err
 				}
-				return fn, nil
-			}
-			fn.Distinct = p.acceptKeyword("DISTINCT")
-			if !p.acceptOp(")") {
-				for {
-					arg, err := p.parseExpr()
-					if err != nil {
+			} else {
+				fn.Distinct = p.acceptKeyword("DISTINCT")
+				if !p.acceptOp(")") {
+					for {
+						arg, err := p.parseExpr()
+						if err != nil {
+							return nil, err
+						}
+						fn.Args = append(fn.Args, arg)
+						if !p.acceptOp(",") {
+							break
+						}
+					}
+					if err := p.expectOp(")"); err != nil {
 						return nil, err
 					}
-					fn.Args = append(fn.Args, arg)
-					if !p.acceptOp(",") {
-						break
-					}
 				}
-				if err := p.expectOp(")"); err != nil {
+			}
+			if p.acceptKeyword("OVER") {
+				if err := p.parseWindowSpec(fn); err != nil {
 					return nil, err
 				}
+			} else if rankingFuncs[fn.Name] {
+				return nil, fmt.Errorf("sql: %s requires an OVER clause", fn.Name)
 			}
 			return fn, nil
 		}
@@ -632,6 +725,19 @@ func (p *parser) parsePrimary() (Expr, error) {
 	case tokOp:
 		if t.text == "(" {
 			p.next()
+			if p.atKeyword("SELECT") {
+				sub, err := p.parseSubSelect()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectOp(")"); err != nil {
+					return nil, err
+				}
+				if len(sub.Items) != 1 {
+					return nil, fmt.Errorf("sql: scalar subquery must return exactly one column, got %d", len(sub.Items))
+				}
+				return &Subquery{Stmt: sub}, nil
+			}
 			e, err := p.parseExpr()
 			if err != nil {
 				return nil, err
@@ -645,11 +751,149 @@ func (p *parser) parsePrimary() (Expr, error) {
 	return nil, fmt.Errorf("sql: unexpected token %q in expression", t.text)
 }
 
+// rankingFuncs are window-only functions: they are meaningless without an
+// OVER clause and take no arguments.
+var rankingFuncs = map[string]bool{
+	"ROW_NUMBER": true, "RANK": true, "DENSE_RANK": true,
+}
+
+// windowAggFuncs are the plain aggregates that may also run as window
+// functions over a partition/frame.
+var windowAggFuncs = map[string]bool{
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+}
+
+// parseWindowSpec parses the parenthesized OVER specification following a
+// function call and validates the call/spec combination.
+func (p *parser) parseWindowSpec(fn *FuncCall) error {
+	if !p.acceptOp("(") {
+		return fmt.Errorf("sql: expected ( after OVER, found %q", p.peek().text)
+	}
+	w := &WindowSpec{}
+	if p.acceptKeyword("PARTITION") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return err
+			}
+			w.PartitionBy = append(w.PartitionBy, e)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return err
+			}
+			item := OrderItem{Expr: e}
+			if p.acceptKeyword("DESC") {
+				item.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			w.OrderBy = append(w.OrderBy, item)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("ROWS") {
+		if len(w.OrderBy) == 0 {
+			return fmt.Errorf("sql: ROWS frame requires ORDER BY in the OVER clause")
+		}
+		if err := p.expectKeyword("BETWEEN"); err != nil {
+			return err
+		}
+		f := &WindowFrame{}
+		if p.acceptKeyword("UNBOUNDED") {
+			f.Unbounded = true
+		} else {
+			t := p.peek()
+			if t.kind != tokNumber {
+				return fmt.Errorf("sql: expected UNBOUNDED or a row count in ROWS frame, found %q", t.text)
+			}
+			p.next()
+			n, err := strconv.ParseInt(t.text, 10, 64)
+			if err != nil {
+				return fmt.Errorf("sql: bad frame bound %q", t.text)
+			}
+			f.Preceding = n
+		}
+		if err := p.expectKeyword("PRECEDING"); err != nil {
+			return err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return err
+		}
+		if err := p.expectKeyword("CURRENT"); err != nil {
+			return err
+		}
+		if err := p.expectKeyword("ROW"); err != nil {
+			return err
+		}
+		w.Frame = f
+	}
+	if !p.acceptOp(")") {
+		return fmt.Errorf("sql: unclosed OVER ( — expected PARTITION BY, ORDER BY, ROWS, or ), found %q", p.peek().text)
+	}
+	fn.Over = w
+	return validateWindowCall(fn)
+}
+
+// validateWindowCall checks argument and spec constraints per window
+// function family.
+func validateWindowCall(fn *FuncCall) error {
+	switch {
+	case rankingFuncs[fn.Name]:
+		if len(fn.Args) > 0 || fn.IsStar {
+			return fmt.Errorf("sql: %s() takes no arguments", fn.Name)
+		}
+		if len(fn.Over.OrderBy) == 0 {
+			return fmt.Errorf("sql: %s() requires ORDER BY in its OVER clause", fn.Name)
+		}
+		if fn.Over.Frame != nil {
+			return fmt.Errorf("sql: %s() does not accept a ROWS frame", fn.Name)
+		}
+	case windowAggFuncs[fn.Name]:
+		if fn.Distinct {
+			return fmt.Errorf("sql: DISTINCT is not supported in window function %s", fn.Name)
+		}
+		if fn.IsStar && fn.Name != "COUNT" {
+			return fmt.Errorf("sql: %s(*) is not a valid window function", fn.Name)
+		}
+		if !fn.IsStar && len(fn.Args) != 1 {
+			return fmt.Errorf("sql: window function %s takes exactly one argument", fn.Name)
+		}
+	default:
+		return fmt.Errorf("sql: %s is not a supported window function", fn.Name)
+	}
+	return nil
+}
+
 func (p *parser) parseCase() (Expr, error) {
 	if err := p.expectKeyword("CASE"); err != nil {
 		return nil, err
 	}
 	c := &CaseExpr{}
+	// Simple form: CASE operand WHEN v THEN r ... — desugared to the
+	// searched form with operand = v conditions.
+	var operand Expr
+	if !p.atKeyword("WHEN") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		operand = e
+	}
 	for p.acceptKeyword("WHEN") {
 		cond, err := p.parseExpr()
 		if err != nil {
@@ -661,6 +905,9 @@ func (p *parser) parseCase() (Expr, error) {
 		res, err := p.parseExpr()
 		if err != nil {
 			return nil, err
+		}
+		if operand != nil {
+			cond = &Binary{Op: "=", L: operand, R: cond}
 		}
 		c.Whens = append(c.Whens, WhenClause{Cond: cond, Result: res})
 	}

@@ -1,6 +1,7 @@
 package sqlengine
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -35,10 +36,15 @@ func srelFrom(t *table.Table, qual string) *srel {
 	return r
 }
 
-// rowEnv evaluates expressions against one relation row.
+// rowEnv evaluates expressions against one relation row. pos/win are set
+// only during projection of a statement with window functions: win maps
+// each window call to its precomputed per-row values, indexed by pos (the
+// row's position in rel.rows).
 type rowEnv struct {
 	rel *srel
 	row []table.Value
+	pos int
+	win map[*FuncCall][]table.Value
 }
 
 func (e *rowEnv) resolveColumn(ref *ColumnRef) (table.Value, error) {
@@ -55,6 +61,13 @@ func (e *rowEnv) resolveAggregate(fn *FuncCall) (table.Value, error) {
 
 func (e *rowEnv) resolveParam(p *Param) (table.Value, error) {
 	return bindAt(e.rel.binds, p)
+}
+
+func (e *rowEnv) resolveWindow(fn *FuncCall) (table.Value, error) {
+	if vals, ok := e.win[fn]; ok {
+		return vals[e.pos], nil
+	}
+	return table.Null(), errWindowContext(fn)
 }
 
 // groupEnv evaluates expressions against one group: plain columns resolve
@@ -77,6 +90,10 @@ func (e *groupEnv) resolveColumn(ref *ColumnRef) (table.Value, error) {
 
 func (e *groupEnv) resolveParam(p *Param) (table.Value, error) {
 	return bindAt(e.rel.binds, p)
+}
+
+func (e *groupEnv) resolveWindow(fn *FuncCall) (table.Value, error) {
+	return table.Null(), errWindowContext(fn)
 }
 
 func (e *groupEnv) resolveAggregate(fn *FuncCall) (table.Value, error) {
@@ -207,6 +224,17 @@ func (c *Catalog) ExecuteScalarBound(stmt *SelectStmt, binds []table.Value) (*ta
 	if err != nil {
 		return nil, err
 	}
+	stmt, err = c.inlineSubqueries(context.Background(), stmt, binds, true)
+	if err != nil {
+		return nil, err
+	}
+	return c.executeScalarStmt(stmt, binds)
+}
+
+// executeScalarStmt is the scalar execution body after bind resolution
+// and subquery inlining — shared with subquery execution, which enters
+// with resolveBindsLoose.
+func (c *Catalog) executeScalarStmt(stmt *SelectStmt, binds []table.Value) (*table.Table, error) {
 	// Same snapshot discipline as the vectorized path: one atomic load per
 	// referenced table pins the rows this execution reads.
 	base, ok := c.Snapshot(stmt.From)
@@ -252,6 +280,7 @@ func (c *Catalog) ExecuteScalarBound(stmt *SelectStmt, binds []table.Value) (*ta
 
 	grouped := len(stmt.GroupBy) > 0 || stmt.Having != nil || selectHasAggregate(stmt)
 	var out *table.Table
+	var err error
 	if grouped {
 		out, err = executeGroupedScalar(stmt, rel)
 	} else {
@@ -400,9 +429,13 @@ func outputNames(items []SelectItem) []string {
 func executePlainScalar(stmt *SelectStmt, rel *srel) (*table.Table, error) {
 	items := expandItems(stmt, &rel.relSchema)
 	order := orderExprs(stmt, items)
+	win, err := computeWindowsScalar(rel, statementWindows(stmt, items, order))
+	if err != nil {
+		return nil, err
+	}
 	rows := make([]projectedRow, 0, len(rel.rows))
-	for _, row := range rel.rows {
-		ev := &rowEnv{rel: rel, row: row}
+	for ri, row := range rel.rows {
+		ev := &rowEnv{rel: rel, row: row, pos: ri, win: win}
 		pr := projectedRow{out: make([]table.Value, len(items)), keys: make([]table.Value, len(order))}
 		for i, it := range items {
 			v, err := evalExpr(it.Expr, ev)
@@ -457,12 +490,16 @@ func executeGroupedScalar(stmt *SelectStmt, rel *srel) (*table.Table, error) {
 		keys = append(keys, "")
 	}
 
+	having := stmt.Having
+	if having != nil {
+		having = resolveHavingAliases(having, items, &rel.relSchema)
+	}
 	rows := make([]projectedRow, 0, len(keys))
 	for _, k := range keys {
 		g := groups[k]
 		ev := &groupEnv{rel: rel, rows: g.rows}
-		if stmt.Having != nil {
-			hv, err := evalExpr(stmt.Having, ev)
+		if having != nil {
+			hv, err := evalExpr(having, ev)
 			if err != nil {
 				return nil, err
 			}

@@ -72,8 +72,22 @@ func evalVec(e Expr, rel *vrel, sel *table.Selection) (table.Column, error) {
 		}
 		return rowFallback(e, rel, sel)
 	case *In:
+		if x.Sub != nil {
+			// Not inlined — surface the internal error via the row path
+			// instead of silently treating the list as empty.
+			return rowFallback(e, rel, sel)
+		}
 		if col, ok, err := evalVecIn(x, rel, sel); ok || err != nil {
 			return col, err
+		}
+		return rowFallback(e, rel, sel)
+	case *FuncCall:
+		if x.Over != nil {
+			if col, ok := rel.win[x]; ok {
+				// Precomputed by executePlainVec over this same selection;
+				// already positional, so it is the node's value column.
+				return col, nil
+			}
 		}
 		return rowFallback(e, rel, sel)
 	default:
@@ -93,6 +107,7 @@ func rowFallback(e Expr, rel *vrel, sel *table.Selection) (table.Column, error) 
 	it := table.IterSelection(sel, rel.nrows)
 	for i := 0; i < n; i++ {
 		env.row, _ = it.Next()
+		env.pos = i
 		v, err := evalExpr(e, env)
 		if err != nil {
 			return table.Column{}, err
@@ -106,9 +121,13 @@ func rowFallback(e Expr, rel *vrel, sel *table.Selection) (table.Column, error) 
 }
 
 // vecRowEnv adapts the columnar relation to the scalar evaluator's env.
+// row is the absolute row index in rel; pos is the row's position within
+// the active selection — window columns are positional, so resolveWindow
+// indexes with pos, not row.
 type vecRowEnv struct {
 	rel *vrel
 	row int
+	pos int
 }
 
 func (e *vecRowEnv) resolveColumn(ref *ColumnRef) (table.Value, error) {
@@ -125,6 +144,13 @@ func (e *vecRowEnv) resolveAggregate(fn *FuncCall) (table.Value, error) {
 
 func (e *vecRowEnv) resolveParam(p *Param) (table.Value, error) {
 	return bindAt(e.rel.binds, p)
+}
+
+func (e *vecRowEnv) resolveWindow(fn *FuncCall) (table.Value, error) {
+	if col, ok := e.rel.win[fn]; ok {
+		return col.Value(e.pos), nil
+	}
+	return table.Null(), errWindowContext(fn)
 }
 
 // constExprValue resolves e to an execution-constant value when it is a

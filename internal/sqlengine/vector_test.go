@@ -219,7 +219,7 @@ func randPredicate(rng *rand.Rand, depth int) string {
 		return p
 	}
 	cmps := []string{"=", "<>", "<", "<=", ">", ">="}
-	switch rng.Intn(8) {
+	switch rng.Intn(11) {
 	case 0:
 		return fmt.Sprintf("a %s %d", cmps[rng.Intn(len(cmps))], rng.Intn(50)-10)
 	case 1:
@@ -238,8 +238,61 @@ func randPredicate(rng *rand.Rand, depth int) string {
 			return col + " IS NULL"
 		}
 		return col + " IS NOT NULL"
-	default:
+	case 7:
 		return fmt.Sprintf("c LIKE '%s'", []string{"%e%", "b_ue", "%d", "gr%"}[rng.Intn(4)])
+	case 8:
+		// Uncorrelated scalar subquery: aggregates always yield one row,
+		// so the comparison is error-free; both engines inline the result.
+		sub := []string{"MIN(mkey)", "MAX(score)", "AVG(score)", "COUNT(*)", "SUM(weight)"}[rng.Intn(5)]
+		from := "multi"
+		if sub == "SUM(weight)" {
+			from = "dim"
+		}
+		return fmt.Sprintf("a %s (SELECT %s FROM %s)", cmps[rng.Intn(len(cmps))], sub, from)
+	case 9:
+		// IN (SELECT ...): the membership list is data-dependent and may
+		// contain NULL mkeys, driving the three-valued NOT IN edge.
+		not := ""
+		if rng.Intn(3) == 0 {
+			not = "NOT "
+		}
+		return fmt.Sprintf("e %sIN (SELECT mkey FROM multi WHERE score %s %.1f)",
+			not, cmps[rng.Intn(len(cmps))], float64(rng.Intn(80))/10)
+	default:
+		// Non-aggregate scalar subquery: returns 0 rows (→ NULL
+		// comparison), 1 row, or several — the several-rows case must fail
+		// identically in every executor.
+		return fmt.Sprintf("b > (SELECT score FROM multi WHERE score > %.1f)", 6.0+float64(rng.Intn(25))/10)
+	}
+}
+
+// randWindowItem draws one window-function select item. Arguments,
+// partition keys, and sort keys span the typed sort-kernel path (int,
+// float, string keys, NULLs included) and the boxed fallback (bool
+// partition/order keys); frames cover whole-partition, running RANGE, and
+// sliding ROWS shapes.
+func randWindowItem(rng *rand.Rand) string {
+	part := []string{"", "PARTITION BY c ", "PARTITION BY e ", "PARTITION BY d ", "PARTITION BY c, e "}[rng.Intn(5)]
+	ord := "ORDER BY " + []string{"a", "b", "e", "a DESC", "b DESC, a", "c, a DESC", "e DESC, b", "d, a"}[rng.Intn(8)]
+	agg := []string{"SUM(a)", "COUNT(*)", "AVG(b)", "MIN(a)", "MAX(b)", "COUNT(c)", "SUM(b)", "SUM(a + e)"}[rng.Intn(8)]
+	switch rng.Intn(4) {
+	case 0:
+		rank := []string{"ROW_NUMBER", "RANK", "DENSE_RANK"}[rng.Intn(3)]
+		return fmt.Sprintf("%s() OVER (%s%s)", rank, part, ord)
+	case 1:
+		if part != "" && rng.Intn(2) == 0 {
+			// Whole-partition aggregate: no ORDER BY in the spec.
+			return fmt.Sprintf("%s OVER (%s)", agg, strings.TrimSpace(part))
+		}
+		return fmt.Sprintf("%s OVER (%s%s)", agg, part, ord)
+	case 2:
+		bound := fmt.Sprintf("%d", rng.Intn(4))
+		if rng.Intn(4) == 0 {
+			bound = "UNBOUNDED"
+		}
+		return fmt.Sprintf("%s OVER (%s%s ROWS BETWEEN %s PRECEDING AND CURRENT ROW)", agg, part, ord, bound)
+	default:
+		return fmt.Sprintf("%s OVER (%s%s)", agg, part, ord)
 	}
 }
 
@@ -260,7 +313,13 @@ func randQuery(rng *rand.Rand) string {
 		}
 		aggs := []string{"SUM(a)", "SUM(b)", "COUNT(*)", "COUNT(b)", "AVG(b)", "MIN(a)", "MAX(b)", "SUM(a + b)", "COUNT(DISTINCT c)"}
 		items := append([]string{}, keys...)
-		items = append(items, aggs[rng.Intn(len(aggs))])
+		agg1 := aggs[rng.Intn(len(aggs))]
+		aliased := rng.Intn(3) == 0
+		if aliased {
+			items = append(items, agg1+" AS agg1")
+		} else {
+			items = append(items, agg1)
+		}
 		if rng.Intn(2) == 0 {
 			items = append(items, aggs[rng.Intn(len(aggs))])
 		}
@@ -273,8 +332,22 @@ func randQuery(rng *rand.Rand) string {
 		if len(keys) > 0 {
 			sb.WriteString(" GROUP BY ")
 			sb.WriteString(strings.Join(keys, ", "))
-			if rng.Intn(3) == 0 {
+			// HAVING shapes: bare aggregate comparison, select-list alias
+			// reference, compound expressions over several aggregates, and
+			// an uncorrelated subquery threshold.
+			switch rng.Intn(6) {
+			case 0:
 				sb.WriteString(fmt.Sprintf(" HAVING COUNT(*) > %d", rng.Intn(3)))
+			case 1:
+				if aliased {
+					sb.WriteString(fmt.Sprintf(" HAVING agg1 >= %d", rng.Intn(20)-5))
+				} else {
+					sb.WriteString(fmt.Sprintf(" HAVING %s >= %d", agg1, rng.Intn(20)-5))
+				}
+			case 2:
+				sb.WriteString(fmt.Sprintf(" HAVING MIN(a) + %d < MAX(a) OR COUNT(*) = 1", rng.Intn(6)))
+			case 3:
+				sb.WriteString(" HAVING COUNT(*) > (SELECT MIN(mkey) FROM multi)")
 			}
 		}
 		sb.WriteString(" ORDER BY 1")
@@ -295,11 +368,32 @@ func randQuery(rng *rand.Rand) string {
 		// Mixed-kind result: the projected column degrades to boxed
 		// storage, so ORDER BY referencing its position exercises the
 		// typed sort kernel's boxed-comparator fallback.
-		"CASE WHEN a > 5 THEN a ELSE c END"}
+		"CASE WHEN a > 5 THEN a ELSE c END",
+		// Simple CASE (operand form), including a NULL-operand row falling
+		// through every WHEN, and a missing ELSE yielding NULL.
+		"CASE c WHEN 'red' THEN 1 WHEN 'blue' THEN 2 ELSE 0 END",
+		"CASE e WHEN 0 THEN 'zero' WHEN 1 THEN 'one' END",
+		// Uncorrelated scalar subquery as a projected constant.
+		"(SELECT MAX(score) FROM multi)"}
 	nitems := 1 + rng.Intn(3)
 	items := make([]string, nitems)
 	for i := range items {
 		items[i] = cols[rng.Intn(len(cols))]
+	}
+	// Window items ride along on roughly a third of row-context queries,
+	// sometimes aliased so ORDER BY can reference them by name.
+	win := rng.Intn(3) == 0
+	hasW1 := false
+	if win {
+		w := randWindowItem(rng)
+		if rng.Intn(2) == 0 {
+			w += " AS w1"
+			hasW1 = true
+		}
+		items = append(items, w)
+		if rng.Intn(3) == 0 {
+			items = append(items, randWindowItem(rng))
+		}
 	}
 	// Join templates cover every kind (INNER/LEFT/RIGHT/FULL OUTER) over
 	// both shapes: dim (N:1 — each data row matches at most one dim row)
@@ -350,9 +444,12 @@ func randQuery(rng *rand.Rand) string {
 		nkeys := 1 + rng.Intn(3)
 		keys := make([]string, nkeys)
 		for i := range keys {
-			if rng.Intn(2) == 0 {
-				keys[i] = fmt.Sprintf("%d", 1+rng.Intn(nitems))
-			} else {
+			switch {
+			case rng.Intn(2) == 0:
+				keys[i] = fmt.Sprintf("%d", 1+rng.Intn(len(items)))
+			case hasW1 && rng.Intn(4) == 0:
+				keys[i] = "w1" // window item by alias
+			default:
 				keys[i] = []string{"a", "b", "c", "d", "e"}[rng.Intn(5)]
 			}
 			if rng.Intn(2) == 0 {
